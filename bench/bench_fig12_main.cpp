@@ -1,0 +1,74 @@
+// Fig. 12: the paper's headline result. All seven schemes over the
+// medium/high error-tolerance applications (groups 1-3):
+//   (a) normalized row energy  — DMS ~8-12%, AMS ~33%, Dyn combo ~44% savings
+//   (b) normalized IPC         — every scheme within 5% of baseline
+//   (c) application error      — ~7% average at 10% coverage
+//   (d) prediction coverage    — near 10% for groups 1-2, lower for group 3
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace lazydram;
+  sim::print_bench_header(
+      "Fig. 12 — row energy / IPC / app error / coverage across schemes",
+      "row energy: Static-DMS -8%, Dyn-DMS -12%, Static-AMS -33%, "
+      "Dyn-DMS+AMS -44% (groups 1-3); IPC within 5%; avg error ~7%");
+
+  sim::ExperimentRunner runner;
+  const std::vector<core::SchemeKind> schemes = {
+      core::SchemeKind::kStaticDms,   core::SchemeKind::kDynDms,
+      core::SchemeKind::kStaticAms,   core::SchemeKind::kDynAms,
+      core::SchemeKind::kStaticCombo, core::SchemeKind::kDynCombo};
+
+  const std::vector<std::string> apps = workloads::fig12_workload_names();
+
+  enum class View { kRowEnergy, kIpc, kError, kCoverage };
+  const struct {
+    View view;
+    const char* title;
+  } kViews[] = {{View::kRowEnergy, "(a) Normalized row energy"},
+                {View::kIpc, "(b) Normalized IPC"},
+                {View::kError, "(c) Application error"},
+                {View::kCoverage, "(d) Prediction coverage"}};
+
+  for (const auto& [view, title] : kViews) {
+    std::vector<std::string> header = {"Workload", "Grp"};
+    for (const core::SchemeKind k : schemes) header.emplace_back(core::scheme_name(k));
+    TextTable table(header);
+    std::vector<std::vector<double>> agg(schemes.size());
+
+    for (const std::string& app : apps) {
+      const sim::RunMetrics& base = runner.baseline(app);
+      const auto wl = workloads::make_workload(app);
+      std::vector<std::string> row = {app, std::to_string(wl->group())};
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const sim::RunMetrics& m = runner.run_scheme(app, schemes[i]);
+        double v = 0.0;
+        switch (view) {
+          case View::kRowEnergy: v = m.row_energy_nj / base.row_energy_nj; break;
+          case View::kIpc: v = m.ipc / base.ipc; break;
+          case View::kError: v = m.app_error; break;
+          case View::kCoverage: v = m.coverage; break;
+        }
+        row.push_back(TextTable::num(v, 3));
+        agg[i].push_back(v);
+      }
+      table.add_row(std::move(row));
+    }
+
+    std::vector<std::string> avg = {"MEAN", "-"};
+    for (auto& v : agg)
+      avg.push_back(TextTable::num(
+          view == View::kRowEnergy || view == View::kIpc ? sim::geomean(v) : sim::mean(v),
+          3));
+    table.add_row(std::move(avg));
+
+    std::cout << "\n" << title << "\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Section V, "Effect on Memory Energy and Peak Bandwidth": projecting the
+// Dyn-DMS+Dyn-AMS row-energy reduction onto whole-memory-system energy for
+// HBM1 (row energy ~50% of memory energy) and HBM2 (~25%), plus the
+// absolute power / bandwidth headroom numbers for a 60W memory budget.
+#include <cstdio>
+
+#include "dram/energy.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace lazydram;
+  sim::print_bench_header(
+      "HBM projection — memory-system energy savings of Dyn-DMS+Dyn-AMS",
+      "~22% memory energy on HBM1 (50% row share), ~11% on HBM2 (25%); "
+      "up to 8W saved or ~90 GB/s extra peak bandwidth at 60W");
+
+  sim::ExperimentRunner runner;
+  std::vector<double> reductions;
+  for (const std::string& app : workloads::fig12_workload_names()) {
+    const sim::RunMetrics& base = runner.baseline(app);
+    const sim::RunMetrics& combo =
+        runner.run_scheme(app, core::SchemeKind::kDynCombo, /*compute_error=*/false);
+    reductions.push_back(1.0 - combo.row_energy_nj / base.row_energy_nj);
+  }
+  const double row_reduction = sim::mean(reductions);
+  const EnergyParams energy;
+
+  const double hbm1 = project_memory_energy_reduction(row_reduction, energy.hbm1_row_share);
+  const double hbm2 = project_memory_energy_reduction(row_reduction, energy.hbm2_row_share);
+
+  std::printf("Average row-energy reduction (groups 1-3): %.1f%%\n", row_reduction * 100);
+  std::printf("HBM1 (row share %.0f%%): %.1f%% memory-system energy reduction\n",
+              energy.hbm1_row_share * 100, hbm1 * 100);
+  std::printf("HBM2 (row share %.0f%%): %.1f%% memory-system energy reduction\n",
+              energy.hbm2_row_share * 100, hbm2 * 100);
+
+  // 60W memory budget at peak bandwidth (Section V's absolute numbers).
+  constexpr double kMemBudgetW = 60.0;
+  constexpr double kHbm2PeakGBs = 900.0 / 60.0 * 60.0;  // ~900 GB/s class part.
+  std::printf("At a %.0fW memory budget (HBM2): %.1fW power headroom, or ~%.0f GB/s "
+              "additional peak bandwidth at iso-power\n",
+              kMemBudgetW, hbm2 * kMemBudgetW, hbm2 * kHbm2PeakGBs);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Google-benchmark microbenchmarks of the performance-critical simulator
+// components: the DRAM command engine, FR-FCFS/lazy scheduling decisions,
+// and the VP unit's nearest-line search.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "core/value_predictor.hpp"
+#include "dram/address.hpp"
+#include "gpu/functional_memory.hpp"
+#include "mem/controller.hpp"
+
+namespace {
+
+using namespace lazydram;
+
+void BM_DramCommandEngine(benchmark::State& state) {
+  GpuConfig cfg;
+  AddressMapper mapper(cfg);
+  Rng rng(42);
+  core::SchemeSpec spec;
+  MemoryController mc(cfg, 0, mapper,
+                      std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
+                                                            cfg.banks_per_channel));
+  RequestId id = 1;
+  Cycle now = 0;
+  for (auto _ : state) {
+    if (mc.can_accept()) {
+      MemRequest r;
+      r.id = id++;
+      r.line_addr =
+          mapper.compose(0, static_cast<BankId>(rng.next_below(16)),
+                         rng.next_below(256), static_cast<std::uint32_t>(
+                                                  rng.next_below(16) * kLineBytes));
+      r.kind = rng.next_bool(0.1) ? AccessKind::kWrite : AccessKind::kRead;
+      mc.enqueue(r, now);
+    }
+    mc.tick(now);
+    while (mc.pop_reply(now)) {
+    }
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_DramCommandEngine);
+
+void BM_LazySchedulerDecide(benchmark::State& state) {
+  GpuConfig cfg;
+  AddressMapper mapper(cfg);
+  Rng rng(7);
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kDynCombo, cfg.scheme);
+  core::LazyScheduler sched(cfg.scheme, spec, cfg.banks_per_channel);
+  PendingQueue queue(cfg.pending_queue_size, cfg.banks_per_channel);
+  for (RequestId i = 1; i <= 96; ++i) {
+    MemRequest r;
+    r.id = i;
+    r.line_addr = mapper.compose(0, static_cast<BankId>(rng.next_below(16)),
+                                 rng.next_below(64), 0);
+    r.loc = mapper.map(r.line_addr);
+    r.approximable = true;
+    queue.push(r);
+  }
+  Cycle now = 10000;
+  BankView bank{3, true, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.decide(queue, bank, now));
+    ++now;
+  }
+}
+BENCHMARK(BM_LazySchedulerDecide);
+
+void BM_ValuePredictorSearch(benchmark::State& state) {
+  GpuConfig cfg;
+  cache::Cache l2(cfg.l2);
+  gpu::FunctionalMemory fmem;
+  Rng rng(3);
+  for (int i = 0; i < 1024; ++i)
+    l2.fill(rng.next_below(1u << 20) * kLineBytes, false, false);
+  core::ValuePredictor vp(l2, fmem, cfg.scheme.vp_set_radius);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vp.predict(rng.next_below(1u << 20) * kLineBytes));
+  }
+}
+BENCHMARK(BM_ValuePredictorSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

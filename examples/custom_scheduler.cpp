@@ -1,0 +1,99 @@
+// Extensibility demo: plug a user-defined memory-scheduling policy into the
+// simulated GPU. Implements "Oldest-Row-First" — a toy policy that, on a row
+// miss, opens the row with the MOST pending requests instead of the oldest
+// request's row — and compares it against FR-FCFS and the paper's Dyn-DMS.
+//
+// Usage: custom_scheduler [workload]
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/table.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "gpu/gpu_top.hpp"
+#include "sim/metrics.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lazydram;
+
+/// Toy policy: serve row hits first (like FR-FCFS); on a miss, pick the
+/// pending request whose row has the largest pending group — a greedy
+/// locality-maximizer that ignores age (and can starve old requests).
+class DensestRowFirstScheduler final : public Scheduler {
+ public:
+  Decision decide(const PendingQueue& queue, const BankView& bank, Cycle now) override {
+    (void)now;
+    if (bank.row_open) {
+      if (const MemRequest* hit = queue.oldest_for_row(bank.bank, bank.open_row))
+        return Decision::serve(hit->id);
+    }
+    const MemRequest* best = nullptr;
+    unsigned best_group = 0;
+    std::unordered_map<RowId, unsigned> group_size;
+    for (const MemRequest* r : queue.bank_requests(bank.bank))
+      ++group_size[r->loc.row];
+    for (const MemRequest* r : queue.bank_requests(bank.bank)) {
+      const unsigned g = group_size[r->loc.row];
+      if (g > best_group) {
+        best_group = g;
+        best = r;
+      }
+    }
+    return best == nullptr ? Decision::none() : Decision::serve(best->id);
+  }
+};
+
+sim::RunMetrics run_policy(const workloads::Workload& wl, const GpuConfig& cfg,
+                           const gpu::GpuTop::SchedulerFactory& factory,
+                           const std::string& label) {
+  gpu::GpuTop top(cfg, wl, factory);
+  top.run();
+  return sim::collect_metrics(top, wl, label, /*compute_error=*/false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "SCP";
+  const auto wl = workloads::make_workload(app);
+  GpuConfig cfg;
+
+  const sim::RunMetrics base = run_policy(
+      *wl, cfg,
+      [&](ChannelId) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<core::LazyScheduler>(cfg.scheme, core::SchemeSpec{},
+                                                     cfg.banks_per_channel);
+      },
+      "FR-FCFS");
+  const sim::RunMetrics custom = run_policy(
+      *wl, cfg,
+      [](ChannelId) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<DensestRowFirstScheduler>();
+      },
+      "DensestRowFirst");
+  const core::SchemeSpec dyn = core::make_scheme_spec(core::SchemeKind::kDynDms,
+                                                      cfg.scheme);
+  const sim::RunMetrics dms = run_policy(
+      *wl, cfg,
+      [&](ChannelId) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<core::LazyScheduler>(cfg.scheme, dyn,
+                                                     cfg.banks_per_channel);
+      },
+      "Dyn-DMS");
+
+  std::cout << "Custom scheduling policy on " << app << ":\n\n";
+  TextTable table({"Policy", "Activations", "Avg-RBL", "IPC"});
+  for (const sim::RunMetrics* m : {&base, &custom, &dms})
+    table.add_row({m->scheme,
+                   TextTable::num(static_cast<double>(m->activations) /
+                                      static_cast<double>(base.activations),
+                                  3),
+                   TextTable::num(m->avg_rbl, 2), TextTable::num(m->ipc / base.ipc, 3)});
+  table.print(std::cout);
+  std::cout << "\nDensestRowFirst trades fairness for locality; Dyn-DMS gets locality\n"
+               "while bounding the performance loss via its BWUTIL guard.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Interactive parameter explorer: sweep a DMS delay range and an AMS Th_RBL
+// range over any workload, printing the trade-off surface (activations, IPC,
+// coverage, error). Shows how a user tunes the lazy scheduler for a new app.
+//
+// Usage: scheme_explorer [workload] [max-delay] [max-th]
+//   e.g. scheme_explorer BICG 512 4
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lazydram;
+
+  const std::string app = argc > 1 ? argv[1] : "SCP";
+  const Cycle max_delay = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 512;
+  const unsigned max_th = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 8;
+
+  sim::ExperimentRunner runner;
+  const sim::RunMetrics& base = runner.baseline(app);
+  std::cout << "Exploring " << app << " (baseline: " << base.activations
+            << " activations, IPC " << TextTable::num(base.ipc, 2) << ", Avg-RBL "
+            << TextTable::num(base.avg_rbl, 2) << ")\n\n";
+
+  TextTable table({"Delay", "Th_RBL", "Activations", "RowEnergy", "IPC", "Coverage",
+                   "AppError"});
+  for (Cycle delay = 0; delay <= max_delay; delay += 128) {
+    for (unsigned th = 0; th <= max_th; th = th == 0 ? 1 : th * 2) {
+      core::SchemeSpec spec;
+      if (delay > 0) spec = core::make_static_dms_spec(delay, runner.config().scheme);
+      if (th > 0) {
+        core::SchemeSpec ams = core::make_static_ams_spec(th, runner.config().scheme);
+        if (delay > 0)
+          spec = core::make_combo_spec(delay, th, runner.config().scheme);
+        else
+          spec = ams;
+      }
+      const sim::RunMetrics& m = runner.run(app, spec);
+      table.add_row({std::to_string(delay), th == 0 ? "off" : std::to_string(th),
+                     TextTable::num(static_cast<double>(m.activations) /
+                                        static_cast<double>(base.activations),
+                                    3),
+                     TextTable::num(m.row_energy_nj / base.row_energy_nj, 3),
+                     TextTable::num(m.ipc / base.ipc, 3),
+                     TextTable::num(m.coverage * 100, 1) + "%",
+                     TextTable::num(m.app_error * 100, 2) + "%"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nAll values normalized to the FR-FCFS baseline.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "cache/cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::cache {
+
+Cache::Cache(const CacheGeometry& geo) : sets_(geo.num_sets()), ways_(geo.ways) {
+  LD_ASSERT(sets_ > 0 && (sets_ & (sets_ - 1)) == 0);
+  LD_ASSERT(ways_ > 0);
+  lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+Cache::Line* Cache::find(Addr line_addr) {
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].addr == line_addr) return &base[w];
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(Addr line_addr) const {
+  return const_cast<Cache*>(this)->find(line_addr);
+}
+
+AccessResult Cache::access(Addr line_addr, bool is_write) {
+  LD_ASSERT_MSG(line_addr % kLineBytes == 0, "cache access must be line-aligned");
+  if (Line* line = find(line_addr)) {
+    line->last_use = ++use_clock_;
+    if (is_write) line->dirty = true;
+    ++hits_;
+    return {.hit = true};
+  }
+  ++misses_;
+  return {.hit = false};
+}
+
+AccessResult Cache::fill(Addr line_addr, bool dirty, bool approximate) {
+  LD_ASSERT_MSG(line_addr % kLineBytes == 0, "cache fill must be line-aligned");
+  ++fills_;
+
+  if (Line* line = find(line_addr)) {
+    // Refill of a line that raced in earlier (e.g. merged misses): refresh.
+    line->last_use = ++use_clock_;
+    line->dirty = line->dirty || dirty;
+    line->approximate = approximate;
+    return {.hit = true};
+  }
+
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+
+  AccessResult result;
+  if (victim->valid && victim->dirty) {
+    result.writeback = true;
+    result.evicted_line = victim->addr;
+  }
+  victim->addr = line_addr;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->approximate = approximate;
+  victim->last_use = ++use_clock_;
+  return result;
+}
+
+bool Cache::invalidate(Addr line_addr) {
+  if (Line* line = find(line_addr)) {
+    line->valid = false;
+    return line->dirty;
+  }
+  return false;
+}
+
+bool Cache::contains(Addr line_addr) const { return find(line_addr) != nullptr; }
+
+bool Cache::line_is_approx(Addr line_addr) const {
+  const Line* line = find(line_addr);
+  return line != nullptr && line->approximate;
+}
+
+void Cache::lines_in_set(std::uint32_t set, std::vector<Addr>& out) const {
+  LD_ASSERT(set < sets_);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid) out.push_back(base[w].addr);
+}
+
+}  // namespace lazydram::cache

@@ -1,0 +1,28 @@
+#include "cache/mshr.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::cache {
+
+bool MshrTable::can_allocate(Addr line_addr) const {
+  const auto it = entries_.find(line_addr);
+  if (it != entries_.end()) return it->second.size() < max_merged_;
+  return entries_.size() < max_entries_;
+}
+
+bool MshrTable::allocate(Addr line_addr, MshrToken token) {
+  LD_ASSERT_MSG(can_allocate(line_addr), "MSHR allocate without capacity check");
+  auto [it, inserted] = entries_.try_emplace(line_addr);
+  it->second.push_back(token);
+  return inserted;
+}
+
+std::vector<MshrToken> MshrTable::release(Addr line_addr) {
+  const auto it = entries_.find(line_addr);
+  LD_ASSERT_MSG(it != entries_.end(), "MSHR release of untracked line");
+  std::vector<MshrToken> waiters = std::move(it->second);
+  entries_.erase(it);
+  return waiters;
+}
+
+}  // namespace lazydram::cache

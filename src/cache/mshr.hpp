@@ -1,0 +1,44 @@
+// Miss Status Holding Registers: merge concurrent misses to the same line and
+// remember who to wake when the refill (or VP prediction) arrives.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lazydram::cache {
+
+/// Opaque waiter handle; the owner decides its meaning (warp slot, request
+/// id, ...).
+using MshrToken = std::uint64_t;
+
+class MshrTable {
+ public:
+  MshrTable(std::uint32_t entries, std::uint32_t max_merged_per_entry = 64)
+      : max_entries_(entries), max_merged_(max_merged_per_entry) {}
+
+  /// True if a miss on `line_addr` can currently be tracked (existing entry
+  /// with merge room, or a free entry).
+  bool can_allocate(Addr line_addr) const;
+
+  /// Registers `token` as waiting on `line_addr`. Returns true if this is
+  /// the *primary* miss (a new entry, i.e. a memory request must be sent);
+  /// false if it merged into an existing entry.
+  bool allocate(Addr line_addr, MshrToken token);
+
+  bool has(Addr line_addr) const { return entries_.count(line_addr) != 0; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Fill arrived: removes the entry and returns all waiting tokens.
+  std::vector<MshrToken> release(Addr line_addr);
+
+ private:
+  std::uint32_t max_entries_;
+  std::uint32_t max_merged_;
+  std::unordered_map<Addr, std::vector<MshrToken>> entries_;
+};
+
+}  // namespace lazydram::cache

@@ -1,0 +1,27 @@
+// Always-on invariant checks. Simulator correctness depends on timing-model
+// invariants that are cheap to verify, so these stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lazydram::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "lazydram assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace lazydram::detail
+
+#define LD_ASSERT(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) ::lazydram::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define LD_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) ::lazydram::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

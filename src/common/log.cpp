@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace lazydram {
+
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+
+void vlog(const char* prefix, const char* fmt, va_list args) {
+  std::fputs(prefix, stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_info(const char* fmt, ...) {
+  if (g_level < LogLevel::kInfo) return;
+  va_list args;
+  va_start(args, fmt);
+  vlog("[lazydram] ", fmt, args);
+  va_end(args);
+}
+
+void log_debug(const char* fmt, ...) {
+  if (g_level < LogLevel::kDebug) return;
+  va_list args;
+  va_start(args, fmt);
+  vlog("[lazydram:debug] ", fmt, args);
+  va_end(args);
+}
+
+}  // namespace lazydram

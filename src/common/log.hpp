@@ -1,0 +1,18 @@
+// Minimal leveled logging. Off by default so benches print only their tables;
+// tests and debugging sessions can raise the level per-process.
+#pragma once
+
+#include <cstdarg>
+
+namespace lazydram {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style; a newline is appended.
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lazydram

@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every source of randomness in the simulator flows through an explicitly
+// seeded Rng so that a run is reproducible bit-for-bit from its seed. This is
+// required by the determinism property tests and keeps experiment results
+// stable across machines (no dependence on std::random_device or libstdc++
+// distribution implementations).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace lazydram {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes state from `seed` via splitmix64 so that nearby seeds
+  /// yield uncorrelated streams.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LD_ASSERT(bound != 0);
+    const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Bernoulli trial with probability `p`.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace lazydram

@@ -1,0 +1,11 @@
+#include "common/stats.hpp"
+
+namespace lazydram {
+
+double StatRegistry::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  LD_ASSERT_MSG(it != values_.end(), name.c_str());
+  return it->second;
+}
+
+}  // namespace lazydram

@@ -1,0 +1,35 @@
+// Plain-text table and CSV emission for benches and reports. Every paper
+// figure/table bench prints through TextTable so output format is uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lazydram {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 3);
+  /// Formats `v` as a percentage with sign, e.g. "-12.3%".
+  static std::string pct(double v, int precision = 1);
+
+  /// Renders with aligned columns and a separator under the header.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lazydram

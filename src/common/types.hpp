@@ -1,0 +1,43 @@
+// Fundamental type aliases shared by every lazydram module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lazydram {
+
+/// Global byte address in the GPU's linear address space.
+using Addr = std::uint64_t;
+
+/// Cycle count. Each clock domain keeps its own cycle counter; the domain is
+/// always clear from context (core vs. memory cycles).
+using Cycle = std::uint64_t;
+
+/// Monotonically increasing identifier for memory requests.
+using RequestId = std::uint64_t;
+
+/// Identifies one of the GPU's streaming multiprocessors.
+using SmId = std::uint32_t;
+
+/// Identifies a memory partition / memory controller (channel).
+using ChannelId = std::uint32_t;
+
+/// Identifies a DRAM bank within a channel.
+using BankId = std::uint32_t;
+
+/// Identifies a DRAM row within a bank.
+using RowId = std::uint64_t;
+
+/// Sentinel for "no row open" and similar.
+inline constexpr RowId kInvalidRow = ~RowId{0};
+
+/// Sentinel cycle meaning "never" / "not scheduled".
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/// Size of one cache line / DRAM transaction in bytes (Table I: 128B blocks).
+inline constexpr std::size_t kLineBytes = 128;
+
+/// Returns the line-aligned base address of `a`.
+constexpr Addr line_base(Addr a) { return a & ~static_cast<Addr>(kLineBytes - 1); }
+
+}  // namespace lazydram

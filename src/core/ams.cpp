@@ -1,0 +1,66 @@
+#include "core/ams.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::core {
+
+AmsUnit::AmsUnit(const SchemeParams& params, bool dynamic, unsigned static_th_rbl)
+    : params_(params), dynamic_(dynamic), th_rbl_(static_th_rbl) {
+  LD_ASSERT(th_rbl_ >= params_.min_th_rbl && th_rbl_ <= params_.max_th_rbl);
+  if (dynamic_) th_rbl_ = params_.max_th_rbl;  // Dyn-AMS starts at 8.
+}
+
+void AmsUnit::tick(Cycle now_mem, bool halted) {
+  halted_ = halted;
+  if (!dynamic_) return;
+  if (now_mem - window_start_ < params_.profile_window) return;
+
+  // Window boundary: adapt Th_RBL from the window's measured coverage.
+  if (window_reads_ > 0) {
+    const double window_coverage =
+        static_cast<double>(window_drops_) / static_cast<double>(window_reads_);
+    // The cumulative cap gates drops at exactly the target, so a window that
+    // "achieves the user-defined coverage" sits marginally below it; the 5%
+    // slack keeps the comparison from sticking at that boundary.
+    if (window_coverage >= 0.95 * params_.coverage_cap) {
+      if (th_rbl_ > params_.min_th_rbl) --th_rbl_;
+    } else {
+      if (th_rbl_ < params_.max_th_rbl) ++th_rbl_;
+    }
+  }
+  window_start_ = now_mem;
+  window_reads_ = 0;
+  window_drops_ = 0;
+}
+
+bool AmsUnit::should_drop(const PendingQueue& queue, const MemRequest& candidate) const {
+  if (!ready_ || halted_) return false;
+
+  // Criterion 1: annotated-approximable global read.
+  if (!candidate.is_read() || !candidate.approximable) return false;
+
+  // Criterion 3: cumulative coverage below the user cap.
+  if (coverage() >= params_.coverage_cap) return false;
+
+  // Criterion 4: the whole pending row group must be approximable reads
+  // (never drop a row that pending writes will touch) and its observed RBL
+  // must not exceed Th_RBL.
+  const BankId bank = candidate.loc.bank;
+  const RowId row = candidate.loc.row;
+  if (!queue.row_group_all_approximable(bank, row)) return false;
+  if (queue.row_group_size(bank, row) > th_rbl_) return false;
+
+  return true;
+}
+
+void AmsUnit::on_read_received() {
+  ++reads_received_;
+  ++window_reads_;
+}
+
+void AmsUnit::on_drop() {
+  ++reads_dropped_;
+  ++window_drops_;
+}
+
+}  // namespace lazydram::core

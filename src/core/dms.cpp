@@ -1,0 +1,120 @@
+#include "core/dms.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace lazydram::core {
+
+DmsUnit::DmsUnit(const SchemeParams& params, bool dynamic, Cycle static_delay)
+    : params_(params), dynamic_(dynamic) {
+  if (dynamic_) {
+    current_delay_ = 0;
+    // One warm-up window first: the application's cold-start burst (L2
+    // warm-up, pipeline fill) is not representative of steady-state BWUTIL
+    // and must not become the baseline sample.
+    phase_ = Phase::kWarmup;
+    recorded_delay_ = params_.static_delay;  // First search starts at 128.
+  } else {
+    current_delay_ = static_delay;
+    phase_ = Phase::kHolding;
+  }
+}
+
+void DmsUnit::tick(Cycle now_mem, std::uint64_t bus_busy_total) {
+  if (!dynamic_) return;
+
+  if (now_mem - window_start_ < params_.profile_window) return;
+
+  // Window boundary: evaluate BWUTIL of the elapsed window.
+  const std::uint64_t busy = bus_busy_total - busy_at_window_start_;
+  const double bwutil =
+      static_cast<double>(busy) / static_cast<double>(params_.profile_window);
+  window_start_ = now_mem;
+  busy_at_window_start_ = bus_busy_total;
+  last_window_bwutil_ = bwutil;
+  on_window_end(bwutil);
+}
+
+void DmsUnit::on_window_end(double window_bwutil) {
+  ++windows_since_restart_;
+  log_debug("dms window=%u phase=%d delay=%llu bwutil=%.3f baseline=%.3f",
+            windows_since_restart_, static_cast<int>(phase_),
+            static_cast<unsigned long long>(current_delay_), window_bwutil,
+            baseline_bwutil_);
+
+  // Restart every N windows to track application phase changes, seeding the
+  // search with the settled delay (Section IV-B).
+  if (windows_since_restart_ >= params_.windows_per_restart) {
+    windows_since_restart_ = 0;
+    phase_ = Phase::kSampling;
+    current_delay_ = 0;
+    saw_good_delay_ = false;
+    return;
+  }
+
+  switch (phase_) {
+    case Phase::kWarmup:
+      phase_ = Phase::kSampling;
+      break;
+
+    case Phase::kSampling: {
+      baseline_bwutil_ = window_bwutil;
+      phase_ = Phase::kSearching;
+      direction_ = Direction::kUp;
+      saw_good_delay_ = false;
+      current_delay_ = std::clamp(recorded_delay_, params_.min_delay, params_.max_delay);
+      if (current_delay_ == 0) current_delay_ = params_.delay_step;
+      break;
+    }
+
+    case Phase::kSearching: {
+      const bool ok = window_bwutil >= params_.bwutil_threshold * baseline_bwutil_;
+      if (direction_ == Direction::kUp) {
+        if (ok) {
+          last_good_delay_ = current_delay_;
+          saw_good_delay_ = true;
+          if (current_delay_ >= params_.max_delay) {
+            recorded_delay_ = current_delay_;
+            phase_ = Phase::kHolding;
+          } else {
+            current_delay_ = std::min<Cycle>(current_delay_ + params_.delay_step,
+                                             params_.max_delay);
+          }
+        } else if (saw_good_delay_) {
+          // "Set the delay to be the last value that leads to a BWUTIL more
+          // than 95% of the baseline."
+          current_delay_ = last_good_delay_;
+          recorded_delay_ = current_delay_;
+          phase_ = Phase::kHolding;
+        } else {
+          // Seeded starting value already violates: search downward.
+          direction_ = Direction::kDown;
+          if (current_delay_ <= params_.delay_step) {
+            current_delay_ = params_.min_delay;
+            recorded_delay_ = current_delay_;
+            phase_ = Phase::kHolding;
+          } else {
+            current_delay_ -= params_.delay_step;
+          }
+        }
+      } else {  // Direction::kDown
+        if (ok || current_delay_ == params_.min_delay) {
+          recorded_delay_ = current_delay_;
+          phase_ = Phase::kHolding;
+        } else if (current_delay_ <= params_.delay_step) {
+          current_delay_ = params_.min_delay;
+        } else {
+          current_delay_ -= params_.delay_step;
+        }
+      }
+      break;
+    }
+
+    case Phase::kHolding:
+      break;
+  }
+}
+
+}  // namespace lazydram::core

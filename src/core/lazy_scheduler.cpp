@@ -1,0 +1,88 @@
+#include "core/lazy_scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::core {
+
+LazyScheduler::LazyScheduler(const SchemeParams& params, const SchemeSpec& spec,
+                             unsigned num_banks)
+    : spec_(spec),
+      dms_(params, spec.dms_dynamic, spec.dms_enabled ? spec.static_delay : 0),
+      ams_(params, spec.ams_dynamic, spec.static_th_rbl),
+      draining_(num_banks, kInvalidRow) {}
+
+Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
+                               Cycle now) {
+  // 0. Drain an in-progress AMS row-group drop. A write arriving for the
+  //    row mid-drain ends the drain: the row will be activated for the
+  //    write anyway, so the remaining reads are served normally.
+  if (draining_[bank.bank] != kInvalidRow) {
+    const RowId row = draining_[bank.bank];
+    const MemRequest* r = queue.oldest_for_row(bank.bank, row);
+    if (r != nullptr && queue.row_group_all_reads(bank.bank, row))
+      return Decision::drop(r->id);
+    draining_[bank.bank] = kInvalidRow;
+    LD_ASSERT(draining_count_ > 0);
+    --draining_count_;
+  }
+
+  // 1. Row-buffer hits are served immediately (never delayed). The
+  //    delay-all ablation gates them like misses.
+  if (bank.row_open) {
+    if (const MemRequest* hit = queue.oldest_for_row(bank.bank, bank.open_row)) {
+      if (!spec_.dms_delay_row_hits || !spec_.dms_enabled ||
+          dms_.allows(hit->enqueue_cycle, now))
+        return Decision::serve(hit->id);
+      return Decision::none();
+    }
+  }
+
+  // 2. Oldest request for this bank is the row-miss candidate.
+  const MemRequest* cand = queue.oldest_for_bank(bank.bank);
+  if (cand == nullptr) return Decision::none();
+
+  if (spec_.dms_enabled && !dms_.allows(cand->enqueue_cycle, now)) return Decision::none();
+
+  // 3. AMS drop decision (criteria 1, 3, 4; criterion 2 was the age gate).
+  if (spec_.ams_enabled && ams_.should_drop(queue, *cand)) return Decision::drop(cand->id);
+
+  // 4. FR-FCFS service.
+  return Decision::serve(cand->id);
+}
+
+void LazyScheduler::tick(Cycle now, std::uint64_t bus_busy_total) {
+  // Credit AMS-dropped requests with the bus cycles they would have used:
+  // otherwise the drop-induced traffic reduction reads as a delay-induced
+  // BWUTIL loss and Dyn-DMS (whose baseline is sampled with AMS halted)
+  // would collapse the delay to zero whenever both schemes co-run.
+  const std::uint64_t adjusted =
+      bus_busy_total + ams_.reads_dropped() * kBurstCyclesPerDrop;
+  if (spec_.dms_enabled) dms_.tick(now, adjusted);
+  if (spec_.ams_enabled) ams_.tick(now, spec_.dms_enabled && dms_.sampling());
+  ++ticks_;
+  delay_sum_ += static_cast<double>(spec_.dms_enabled ? dms_.current_delay() : 0);
+  th_rbl_sum_ += static_cast<double>(spec_.ams_enabled ? ams_.th_rbl() : 0);
+}
+
+bool LazyScheduler::may_drop() const {
+  if (!spec_.ams_enabled) return false;
+  return draining_count_ > 0 || ams_.may_drop();
+}
+
+void LazyScheduler::on_enqueue(const MemRequest& req) {
+  if (req.is_read()) ams_.on_read_received();
+}
+
+void LazyScheduler::on_drop(const MemRequest& req) {
+  ams_.on_drop();
+  if (draining_[req.loc.bank] == kInvalidRow) {
+    draining_[req.loc.bank] = req.loc.row;
+    ++draining_count_;
+  }
+  LD_ASSERT_MSG(draining_[req.loc.bank] == req.loc.row,
+                "a bank can only drain one row group at a time");
+}
+
+void LazyScheduler::set_ams_ready(bool ready) { ams_.set_ready(ready); }
+
+}  // namespace lazydram::core

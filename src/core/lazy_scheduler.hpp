@@ -1,0 +1,77 @@
+// The lazy memory scheduler (Section IV): FR-FCFS extended with the DMS and
+// AMS units. With both units disabled it is bit-identical to the baseline
+// FR-FCFS policy (verified by tests), so one scheduler class realizes all
+// seven schemes of Fig. 12.
+//
+// Decision order per bank:
+//   0. If an AMS row-group drop is draining for this bank, drop the group's
+//      next request (one per cycle, bypassing age/coverage: the group was
+//      admitted as a whole when its oldest member qualified).
+//   1. Row-buffer hit candidates are served immediately — DMS never delays
+//      hits ("each request that does not lead to a row hit is delayed").
+//   2. Otherwise the bank's oldest request is the candidate; it may proceed
+//      only once it has aged >= the DMS delay.
+//   3. An aged candidate is offered to the AMS unit; if all drop criteria
+//      hold, its whole pending row group starts draining to the VP unit.
+//   4. Otherwise it is served (PRE/ACT as needed) per FR-FCFS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/ams.hpp"
+#include "core/dms.hpp"
+#include "core/scheme.hpp"
+#include "mem/scheduler.hpp"
+
+namespace lazydram::core {
+
+class LazyScheduler : public Scheduler {
+ public:
+  LazyScheduler(const SchemeParams& params, const SchemeSpec& spec, unsigned num_banks);
+
+  Decision decide(const PendingQueue& queue, const BankView& bank, Cycle now) override;
+  void tick(Cycle now, std::uint64_t bus_busy_total) override;
+  bool may_drop() const override;
+  void on_enqueue(const MemRequest& req) override;
+  void on_drop(const MemRequest& req) override;
+
+  /// L2 warm-up gate for the AMS unit (set by the owning memory partition).
+  void set_ams_ready(bool ready);
+
+  const SchemeSpec& spec() const { return spec_; }
+  const DmsUnit& dms() const { return dms_; }
+  const AmsUnit& ams() const { return ams_; }
+
+  /// Time-weighted average DMS delay over the run (benches report this).
+  double average_delay() const {
+    return ticks_ == 0 ? 0.0 : delay_sum_ / static_cast<double>(ticks_);
+  }
+  /// Time-weighted average Th_RBL over the run.
+  double average_th_rbl() const {
+    return ticks_ == 0 ? 0.0 : th_rbl_sum_ / static_cast<double>(ticks_);
+  }
+
+ private:
+  SchemeSpec spec_;
+  DmsUnit dms_;
+  AmsUnit ams_;
+
+  /// Per-bank row currently being drained by an AMS group drop
+  /// (kInvalidRow if none). Cleared lazily from decide(), which is
+  /// idempotent and thus unobservable across repeated calls.
+  mutable std::vector<RowId> draining_;
+  mutable unsigned draining_count_ = 0;
+
+  /// Bus cycles one 128B transaction occupies (tBURST); used to credit
+  /// dropped requests in the Dyn-DMS BWUTIL comparison.
+  static constexpr std::uint64_t kBurstCyclesPerDrop = 4;
+
+  std::uint64_t ticks_ = 0;
+  double delay_sum_ = 0.0;
+  double th_rbl_sum_ = 0.0;
+};
+
+}  // namespace lazydram::core

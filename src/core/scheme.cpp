@@ -1,0 +1,82 @@
+#include "core/scheme.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::core {
+
+const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kBaseline: return "Baseline";
+    case SchemeKind::kStaticDms: return "Static-DMS";
+    case SchemeKind::kDynDms: return "Dyn-DMS";
+    case SchemeKind::kStaticAms: return "Static-AMS";
+    case SchemeKind::kDynAms: return "Dyn-AMS";
+    case SchemeKind::kStaticCombo: return "Static-DMS+AMS";
+    case SchemeKind::kDynCombo: return "Dyn-DMS+AMS";
+  }
+  LD_ASSERT_MSG(false, "unknown scheme");
+  return "?";
+}
+
+SchemeSpec make_scheme_spec(SchemeKind kind, const SchemeParams& params) {
+  SchemeSpec spec;
+  spec.kind = kind;
+  spec.static_delay = params.static_delay;
+  spec.static_th_rbl = params.static_th_rbl;
+  switch (kind) {
+    case SchemeKind::kBaseline:
+      break;
+    case SchemeKind::kStaticDms:
+      spec.dms_enabled = true;
+      break;
+    case SchemeKind::kDynDms:
+      spec.dms_enabled = true;
+      spec.dms_dynamic = true;
+      break;
+    case SchemeKind::kStaticAms:
+      spec.ams_enabled = true;
+      break;
+    case SchemeKind::kDynAms:
+      spec.ams_enabled = true;
+      spec.ams_dynamic = true;
+      break;
+    case SchemeKind::kStaticCombo:
+      spec.dms_enabled = true;
+      spec.ams_enabled = true;
+      break;
+    case SchemeKind::kDynCombo:
+      spec.dms_enabled = true;
+      spec.dms_dynamic = true;
+      spec.ams_enabled = true;
+      spec.ams_dynamic = true;
+      break;
+  }
+  return spec;
+}
+
+SchemeSpec make_static_dms_spec(Cycle delay, const SchemeParams& params) {
+  SchemeSpec spec = make_scheme_spec(SchemeKind::kStaticDms, params);
+  spec.static_delay = delay;
+  return spec;
+}
+
+SchemeSpec make_static_ams_spec(unsigned th_rbl, const SchemeParams& params) {
+  SchemeSpec spec = make_scheme_spec(SchemeKind::kStaticAms, params);
+  spec.static_th_rbl = th_rbl;
+  return spec;
+}
+
+SchemeSpec make_combo_spec(Cycle delay, unsigned th_rbl, const SchemeParams& params) {
+  SchemeSpec spec = make_scheme_spec(SchemeKind::kStaticCombo, params);
+  spec.static_delay = delay;
+  spec.static_th_rbl = th_rbl;
+  return spec;
+}
+
+std::vector<SchemeKind> all_schemes() {
+  return {SchemeKind::kBaseline,  SchemeKind::kStaticDms,   SchemeKind::kDynDms,
+          SchemeKind::kStaticAms, SchemeKind::kDynAms,      SchemeKind::kStaticCombo,
+          SchemeKind::kDynCombo};
+}
+
+}  // namespace lazydram::core

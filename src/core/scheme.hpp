@@ -1,0 +1,56 @@
+// The seven scheduling schemes evaluated in the paper (Section V, Fig. 12):
+// Baseline FR-FCFS, Static/Dyn DMS, Static/Dyn AMS, and the static and
+// dynamic combinations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace lazydram::core {
+
+enum class SchemeKind {
+  kBaseline,
+  kStaticDms,
+  kDynDms,
+  kStaticAms,
+  kDynAms,
+  kStaticCombo,  ///< Static-DMS + Static-AMS.
+  kDynCombo,     ///< Dyn-DMS + Dyn-AMS.
+};
+
+/// Resolved knobs for one scheme instance.
+struct SchemeSpec {
+  SchemeKind kind = SchemeKind::kBaseline;
+  bool dms_enabled = false;
+  bool dms_dynamic = false;
+  Cycle static_delay = 0;  ///< Used when dms_enabled && !dms_dynamic.
+  bool ams_enabled = false;
+  bool ams_dynamic = false;
+  unsigned static_th_rbl = 8;  ///< Used when ams_enabled && !ams_dynamic.
+
+  /// Ablation only: age-gate row-buffer *hits* too (the paper's DMS never
+  /// delays hits; this knob quantifies why that design choice matters).
+  bool dms_delay_row_hits = false;
+};
+
+const char* scheme_name(SchemeKind kind);
+
+/// Builds the spec for `kind` from the configured scheme parameters.
+SchemeSpec make_scheme_spec(SchemeKind kind, const SchemeParams& params);
+
+/// Convenience: custom DMS(X) spec (used by the delay-sweep benches).
+SchemeSpec make_static_dms_spec(Cycle delay, const SchemeParams& params);
+
+/// Convenience: custom AMS(Th_RBL) spec (used by the Th_RBL sweep benches).
+SchemeSpec make_static_ams_spec(unsigned th_rbl, const SchemeParams& params);
+
+/// Convenience: custom DMS(X)+AMS(Th) combination.
+SchemeSpec make_combo_spec(Cycle delay, unsigned th_rbl, const SchemeParams& params);
+
+/// All seven paper schemes in Fig. 12 presentation order.
+std::vector<SchemeKind> all_schemes();
+
+}  // namespace lazydram::core

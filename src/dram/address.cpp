@@ -1,0 +1,71 @@
+#include "dram/address.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram {
+
+// Swizzle hashes: GPU memory controllers rotate channel/bank assignment by a
+// hash of higher address bits so that power-of-two strides (matrix pitches,
+// per-thread block offsets) do not resonate onto a single channel or bank
+// (GPGPU-Sim ships the same style of address hashing). Both swizzles are
+// *rotations*, so the mapping stays bijective and compose() can invert it.
+namespace {
+
+std::uint64_t swizzle_hash(std::uint64_t x) {
+  x *= 0x9e3779b97f4a7c15ULL;
+  return (x >> 32) ^ (x >> 51);
+}
+
+}  // namespace
+
+AddressMapper::AddressMapper(const GpuConfig& cfg)
+    : num_channels_(cfg.num_channels),
+      banks_(cfg.banks_per_channel),
+      groups_(cfg.bank_groups_per_channel),
+      row_bytes_(cfg.row_bytes),
+      interleave_(cfg.channel_interleave_bytes) {}
+
+DramLocation AddressMapper::map(Addr addr) const {
+  const Addr chunk = addr / interleave_;
+  const Addr offset_in_chunk = addr % interleave_;
+  const Addr super = chunk / num_channels_;  // Chunk group index.
+
+  DramLocation loc;
+  // Channel rotation within each group of num_channels_ consecutive chunks.
+  loc.channel = static_cast<ChannelId>((chunk + swizzle_hash(super)) % num_channels_);
+
+  const Addr local = super * interleave_ + offset_in_chunk;
+  loc.col_byte = static_cast<std::uint32_t>(local % row_bytes_);
+  const Addr bank_raw = (local / row_bytes_) % banks_;
+  loc.row = local / (static_cast<Addr>(row_bytes_) * banks_);
+  // Bank rotation keyed by the row index.
+  loc.bank = static_cast<BankId>((bank_raw + swizzle_hash(loc.row)) % banks_);
+  loc.bank_group = group_of(loc.bank);
+  return loc;
+}
+
+Addr AddressMapper::compose(ChannelId channel, BankId bank, RowId row,
+                            std::uint32_t col_byte) const {
+  LD_ASSERT(channel < num_channels_);
+  LD_ASSERT(bank < banks_);
+  LD_ASSERT(col_byte < row_bytes_);
+
+  const Addr bank_raw =
+      (bank + banks_ - swizzle_hash(row) % banks_) % banks_;
+  const Addr local =
+      (row * banks_ + bank_raw) * static_cast<Addr>(row_bytes_) + col_byte;
+  const Addr super = local / interleave_;
+  const Addr offset = local % interleave_;
+  const Addr chunk_in_group =
+      (channel + num_channels_ - swizzle_hash(super) % num_channels_) % num_channels_;
+  return (super * num_channels_ + chunk_in_group) * static_cast<Addr>(interleave_) +
+         offset;
+}
+
+ChannelId AddressMapper::channel_of(Addr addr) const {
+  const Addr chunk = addr / interleave_;
+  return static_cast<ChannelId>((chunk + swizzle_hash(chunk / num_channels_)) %
+                                num_channels_);
+}
+
+}  // namespace lazydram

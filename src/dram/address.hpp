@@ -1,0 +1,56 @@
+// Global-address -> DRAM-coordinate mapping.
+//
+// Table I: "global linear address space is interleaved among partitions in
+// chunks of 256 bytes". Within a channel the local address is split
+// [row | bank | column] so that a sequential stream walks a whole row before
+// moving to the next bank, which is the open-row-friendly layout GPGPU-Sim
+// uses by default.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace lazydram {
+
+/// Physical coordinates of a byte address.
+struct DramLocation {
+  ChannelId channel = 0;
+  BankId bank = 0;
+  unsigned bank_group = 0;
+  RowId row = 0;
+  std::uint32_t col_byte = 0;  ///< Byte offset within the row.
+
+  bool same_row(const DramLocation& o) const {
+    return channel == o.channel && bank == o.bank && row == o.row;
+  }
+};
+
+class AddressMapper {
+ public:
+  explicit AddressMapper(const GpuConfig& cfg);
+
+  DramLocation map(Addr addr) const;
+
+  /// Inverse of map(): builds the unique global byte address at the given
+  /// coordinates. compose(map(a)) == line/byte-exact round trip (tested).
+  Addr compose(ChannelId channel, BankId bank, RowId row, std::uint32_t col_byte) const;
+
+  ChannelId channel_of(Addr addr) const;
+
+  unsigned num_channels() const { return num_channels_; }
+  unsigned banks_per_channel() const { return banks_; }
+  unsigned row_bytes() const { return row_bytes_; }
+  unsigned bank_groups() const { return groups_; }
+
+  /// Bank group of a bank id (banks are group-interleaved: bank % groups).
+  unsigned group_of(BankId bank) const { return bank % groups_; }
+
+ private:
+  unsigned num_channels_;
+  unsigned banks_;
+  unsigned groups_;
+  unsigned row_bytes_;
+  unsigned interleave_;
+};
+
+}  // namespace lazydram

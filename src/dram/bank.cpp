@@ -1,0 +1,65 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lazydram::dram {
+
+void Bank::activate(RowId row, Cycle now) {
+  LD_ASSERT_MSG(can_activate(now), "ACT issued while illegal");
+  open_row_ = row;
+  open_accesses_ = 0;
+  open_read_only_ = true;
+  last_act_ = now;
+  next_rd_ = std::max(next_rd_, now + t_.tRCD);
+  next_wr_ = std::max(next_wr_, now + t_.tRCD);
+  next_pre_ = std::max(next_pre_, now + t_.tRAS);
+  // tRC lower-bounds the next ACT regardless of when PRE lands.
+  next_act_ = std::max(next_act_, now + t_.tRC);
+}
+
+Bank::ClosedRow Bank::precharge(Cycle now) {
+  LD_ASSERT_MSG(can_precharge(now), "PRE issued while illegal");
+  ClosedRow closed{open_accesses_, open_read_only_, open_row_};
+  open_row_ = kInvalidRow;
+  open_accesses_ = 0;
+  open_read_only_ = true;
+  next_act_ = std::max(next_act_, now + t_.tRP);
+  return closed;
+}
+
+Cycle Bank::read(Cycle now) {
+  LD_ASSERT_MSG(can_read(now), "RD issued while illegal");
+  ++open_accesses_;
+  const Cycle data_end = now + t_.tCL + t_.tBURST;
+  next_rd_ = std::max(next_rd_, now + t_.tCCD);
+  next_wr_ = std::max(next_wr_, now + t_.tCCD);
+  // The row may not close until the read burst has drained.
+  next_pre_ = std::max(next_pre_, now + t_.tBURST);
+  return data_end;
+}
+
+Cycle Bank::write(Cycle now) {
+  LD_ASSERT_MSG(can_write(now), "WR issued while illegal");
+  ++open_accesses_;
+  open_read_only_ = false;
+  const Cycle data_end = now + t_.tWL + t_.tBURST;
+  next_wr_ = std::max(next_wr_, now + t_.tCCD);
+  // Write-to-read turnaround within the bank (tCDLR counts from last data in).
+  next_rd_ = std::max(next_rd_, data_end + t_.tCDLR);
+  // Write recovery before the row can be precharged.
+  next_pre_ = std::max(next_pre_, data_end + t_.tWR);
+  return data_end;
+}
+
+Bank::ClosedRow Bank::flush() {
+  if (!row_open()) return {};
+  ClosedRow closed{open_accesses_, open_read_only_, open_row_};
+  open_row_ = kInvalidRow;
+  open_accesses_ = 0;
+  open_read_only_ = true;
+  return closed;
+}
+
+}  // namespace lazydram::dram

@@ -1,0 +1,68 @@
+// One GDDR5 bank: open-row state machine plus the per-bank timing ledger.
+//
+// The ledger records, per command type, the earliest memory cycle at which
+// that command may legally issue to this bank. Channel-scope constraints
+// (tRRD across banks, tCCD within a bank group, data-bus occupancy) are
+// enforced by DramChannel, not here.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace lazydram::dram {
+
+class Bank {
+ public:
+  explicit Bank(const DramTiming& timing) : t_(timing) {}
+
+  bool row_open() const { return open_row_ != kInvalidRow; }
+  RowId open_row() const { return open_row_; }
+
+  // --- Legality (per-bank constraints only) ---
+  bool can_activate(Cycle now) const { return !row_open() && now >= next_act_; }
+  bool can_precharge(Cycle now) const { return row_open() && now >= next_pre_; }
+  bool can_read(Cycle now) const { return row_open() && now >= next_rd_; }
+  bool can_write(Cycle now) const { return row_open() && now >= next_wr_; }
+
+  // --- Command execution. Preconditions: the matching can_*() holds. ---
+
+  void activate(RowId row, Cycle now);
+
+  /// Closes the open row. Returns the number of column accesses the closing
+  /// activation served (its RBL) and whether it served only reads.
+  struct ClosedRow {
+    unsigned accesses = 0;
+    bool read_only = true;
+    RowId row = kInvalidRow;
+  };
+  ClosedRow precharge(Cycle now);
+
+  /// Issues a RD; returns the cycle the last data beat leaves the pins.
+  Cycle read(Cycle now);
+  /// Issues a WR; returns the cycle the last data beat is written.
+  Cycle write(Cycle now);
+
+  /// Accesses served by the currently open row so far (0 if closed).
+  unsigned open_row_accesses() const { return open_accesses_; }
+  bool open_row_read_only() const { return open_read_only_; }
+
+  /// End-of-simulation flush: returns the open row's tally as if precharged,
+  /// without timing effects. No-op (returns accesses==0) if no row is open.
+  ClosedRow flush();
+
+ private:
+  DramTiming t_;
+
+  RowId open_row_ = kInvalidRow;
+  unsigned open_accesses_ = 0;
+  bool open_read_only_ = true;
+
+  Cycle next_act_ = 0;
+  Cycle next_pre_ = 0;
+  Cycle next_rd_ = 0;
+  Cycle next_wr_ = 0;
+  Cycle last_act_ = 0;
+};
+
+}  // namespace lazydram::dram

@@ -1,0 +1,5 @@
+#include "dram/energy.hpp"
+
+// EnergyMeter is header-only today; this translation unit anchors the
+// module so the build stays stable if out-of-line definitions are added.
+namespace lazydram {}

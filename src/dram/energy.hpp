@@ -1,0 +1,53 @@
+// Event-based DRAM energy accounting (GPUWattch-style).
+//
+// "Row energy" is the paper's reported quantity: the cost of activate +
+// restore + precharge paid once per row activation (Section II-B). Access
+// energy (per 128B RD/WR column access) is tracked separately so that total
+// DRAM energy and the HBM1/HBM2 memory-system projections can be derived.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+
+namespace lazydram {
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const EnergyParams& params) : params_(params) {}
+
+  void on_activation() { ++activations_; }
+  void on_read_access() { ++reads_; }
+  void on_write_access() { ++writes_; }
+
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t read_accesses() const { return reads_; }
+  std::uint64_t write_accesses() const { return writes_; }
+
+  double row_energy_nj() const {
+    return static_cast<double>(activations_) * params_.row_energy_per_act_nj();
+  }
+  double access_energy_nj() const {
+    return static_cast<double>(reads_) * params_.rd_access_nj +
+           static_cast<double>(writes_) * params_.wr_access_nj;
+  }
+  double total_energy_nj() const { return row_energy_nj() + access_energy_nj(); }
+
+  void reset() { activations_ = reads_ = writes_ = 0; }
+
+ private:
+  EnergyParams params_;
+  std::uint64_t activations_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Projects a row-energy reduction onto a memory technology's total
+/// memory-system energy, given the technology's row-energy share (Section V,
+/// "Effect on Memory Energy and Peak Bandwidth").
+inline double project_memory_energy_reduction(double row_energy_reduction,
+                                              double row_share) {
+  return row_energy_reduction * row_share;
+}
+
+}  // namespace lazydram

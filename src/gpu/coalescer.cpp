@@ -1,0 +1,17 @@
+#include "gpu/coalescer.hpp"
+
+#include <algorithm>
+
+namespace lazydram::gpu {
+
+void coalesce(const WarpOp& op, std::vector<Addr>& out) {
+  out.clear();
+  for (unsigned i = 0; i < op.num_addrs; ++i) {
+    const Addr line = line_base(op.addrs[i]);
+    // Linear scan: warp ops carry at most 32 lanes, and typical ops coalesce
+    // to a handful of lines, so this beats a hash set.
+    if (std::find(out.begin(), out.end(), line) == out.end()) out.push_back(line);
+  }
+}
+
+}  // namespace lazydram::gpu

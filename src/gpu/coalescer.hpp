@@ -1,0 +1,16 @@
+// Memory coalescing: collapse a warp op's 32 lane addresses into the set of
+// distinct 128B transactions (Table I: "memory coalescing enabled").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/warp.hpp"
+
+namespace lazydram::gpu {
+
+/// Appends the distinct line base addresses touched by `op` to `out`,
+/// preserving first-touch lane order. `out` is cleared first.
+void coalesce(const WarpOp& op, std::vector<Addr>& out);
+
+}  // namespace lazydram::gpu

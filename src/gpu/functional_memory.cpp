@@ -1,0 +1,127 @@
+#include "gpu/functional_memory.hpp"
+
+namespace lazydram::gpu {
+
+MemoryImage::MemoryImage(const MemoryImage& other) {
+  pages_.reserve(other.pages_.size());
+  for (const auto& [base, page] : other.pages_)
+    pages_.emplace(base, std::make_unique<Page>(*page));
+}
+
+const MemoryImage::Page* MemoryImage::page_of(Addr addr) const {
+  const auto it = pages_.find(addr & ~static_cast<Addr>(kPageBytes - 1));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MemoryImage::Page& MemoryImage::page_for_write(Addr addr) {
+  const Addr base = addr & ~static_cast<Addr>(kPageBytes - 1);
+  auto it = pages_.find(base);
+  if (it == pages_.end()) {
+    it = pages_.emplace(base, std::make_unique<Page>()).first;
+    it->second->fill(0);
+  }
+  return *it->second;
+}
+
+void MemoryImage::read(Addr addr, std::uint8_t* out, std::size_t n) const {
+  while (n > 0) {
+    const Addr page_base = addr & ~static_cast<Addr>(kPageBytes - 1);
+    const std::size_t offset = static_cast<std::size_t>(addr - page_base);
+    const std::size_t chunk = std::min(n, kPageBytes - offset);
+    if (const Page* page = page_of(addr))
+      std::memcpy(out, page->data() + offset, chunk);
+    else
+      std::memset(out, 0, chunk);
+    addr += chunk;
+    out += chunk;
+    n -= chunk;
+  }
+}
+
+void MemoryImage::write(Addr addr, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const Addr page_base = addr & ~static_cast<Addr>(kPageBytes - 1);
+    const std::size_t offset = static_cast<std::size_t>(addr - page_base);
+    const std::size_t chunk = std::min(n, kPageBytes - offset);
+    std::memcpy(page_for_write(addr).data() + offset, data, chunk);
+    addr += chunk;
+    data += chunk;
+    n -= chunk;
+  }
+}
+
+float MemoryImage::read_f32(Addr addr) const {
+  float v;
+  std::uint8_t buf[4];
+  read(addr, buf, 4);
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+void MemoryImage::write_f32(Addr addr, float value) {
+  std::uint8_t buf[4];
+  std::memcpy(buf, &value, 4);
+  write(addr, buf, 4);
+}
+
+std::uint32_t MemoryImage::read_u32(Addr addr) const {
+  std::uint32_t v;
+  std::uint8_t buf[4];
+  read(addr, buf, 4);
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+void MemoryImage::write_u32(Addr addr, std::uint32_t value) {
+  std::uint8_t buf[4];
+  std::memcpy(buf, &value, 4);
+  write(addr, buf, 4);
+}
+
+void FunctionalMemory::record_approx_line(Addr line_addr, const std::uint8_t* bytes) {
+  LD_ASSERT(line_addr % kLineBytes == 0);
+  auto [it, inserted] = overlay_.try_emplace(line_addr);
+  if (!inserted) return;  // First prediction wins.
+  std::memcpy(it->second.data(), bytes, kLineBytes);
+}
+
+void FunctionalMemory::read_line(Addr line_addr, std::uint8_t out[kLineBytes]) const {
+  LD_ASSERT(line_addr % kLineBytes == 0);
+  const auto it = overlay_.find(line_addr);
+  if (it != overlay_.end()) {
+    std::memcpy(out, it->second.data(), kLineBytes);
+    return;
+  }
+  image_.read(line_addr, out, kLineBytes);
+}
+
+void MemView::read_small(Addr addr, std::uint8_t* out, std::size_t n) const {
+  if (overlay_ != nullptr) {
+    const auto it = overlay_->find(line_base(addr));
+    if (it != overlay_->end()) {
+      const std::size_t offset = static_cast<std::size_t>(addr - line_base(addr));
+      LD_ASSERT(offset + n <= kLineBytes);
+      std::memcpy(out, it->second.data() + offset, n);
+      return;
+    }
+  }
+  storage_.read(addr, out, n);
+}
+
+float MemView::read_f32(Addr addr) const {
+  float v;
+  std::uint8_t buf[4];
+  read_small(addr, buf, 4);
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+std::uint32_t MemView::read_u32(Addr addr) const {
+  std::uint32_t v;
+  std::uint8_t buf[4];
+  read_small(addr, buf, 4);
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+}  // namespace lazydram::gpu

@@ -1,0 +1,105 @@
+// Functional data image of the GPU's global memory, and the approximate-line
+// overlay that records what the VP unit synthesized.
+//
+// The timing simulator moves addresses, not values; values live here.
+// Workloads initialize their input arrays into the image before the timed
+// run. When the AMS unit drops a request, the partition records the VP's
+// predicted 128 bytes in the overlay. After the run, application error is
+// computed by executing the workload's functional model twice — once against
+// the pristine image ("exact") and once with every read checking the overlay
+// first ("approximate") — and comparing the declared outputs (Section II-D's
+// average relative error).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "core/value_predictor.hpp"
+
+namespace lazydram::gpu {
+
+/// Sparse byte store keyed by 4KB pages. Unwritten bytes read as zero.
+class MemoryImage {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  MemoryImage() = default;
+  MemoryImage(const MemoryImage& other);
+  MemoryImage& operator=(const MemoryImage&) = delete;
+  MemoryImage(MemoryImage&&) = default;
+  MemoryImage& operator=(MemoryImage&&) = default;
+
+  void read(Addr addr, std::uint8_t* out, std::size_t n) const;
+  void write(Addr addr, const std::uint8_t* data, std::size_t n);
+
+  float read_f32(Addr addr) const;
+  void write_f32(Addr addr, float value);
+  std::uint32_t read_u32(Addr addr) const;
+  void write_u32(Addr addr, std::uint32_t value);
+
+  std::size_t pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+  const Page* page_of(Addr addr) const;
+  Page& page_for_write(Addr addr);
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/// Predicted 128B lines, keyed by line base address. First prediction wins:
+/// the first drop is the moment the (approximate) line entered the L2 and
+/// became the value the cores observe.
+using ApproxOverlay = std::unordered_map<Addr, std::array<std::uint8_t, kLineBytes>>;
+
+class FunctionalMemory : public core::LineReader {
+ public:
+  MemoryImage& image() { return image_; }
+  const MemoryImage& image() const { return image_; }
+
+  /// Records the VP prediction for a dropped line (no-op if already present).
+  void record_approx_line(Addr line_addr, const std::uint8_t* bytes);
+
+  const ApproxOverlay& overlay() const { return overlay_; }
+  bool line_is_approx(Addr line_addr) const { return overlay_.count(line_base(line_addr)) != 0; }
+
+  /// core::LineReader — what a consumer of the memory system observes:
+  /// overlay first (the approximate line is what the L2 holds), then image.
+  void read_line(Addr line_addr, std::uint8_t out[kLineBytes]) const override;
+
+ private:
+  MemoryImage image_;
+  ApproxOverlay overlay_;
+};
+
+/// Read/write view used by workload functional models. `overlay == nullptr`
+/// is the exact view; otherwise every read consults the overlay first, so a
+/// load of an approximated line observes the predicted value (even for lines
+/// the model itself wrote — per-load resolution is deliberately pessimistic,
+/// see DESIGN.md).
+class MemView {
+ public:
+  MemView(MemoryImage& storage, const ApproxOverlay* overlay)
+      : storage_(storage), overlay_(overlay) {}
+
+  float read_f32(Addr addr) const;
+  void write_f32(Addr addr, float value) { storage_.write_f32(addr, value); }
+  std::uint32_t read_u32(Addr addr) const;
+  void write_u32(Addr addr, std::uint32_t value) { storage_.write_u32(addr, value); }
+
+ private:
+  /// Reads `n` <= 4 bytes honoring the overlay. `addr` must not straddle a
+  /// line boundary for overlay reads (4-byte scalars never do: lines are
+  /// 128B-aligned and scalars 4B-aligned).
+  void read_small(Addr addr, std::uint8_t* out, std::size_t n) const;
+
+  MemoryImage& storage_;
+  const ApproxOverlay* overlay_;
+};
+
+}  // namespace lazydram::gpu

@@ -1,0 +1,226 @@
+#include "gpu/gpu_top.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::gpu {
+
+GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
+               const SchedulerFactory& factory, RowPolicy row_policy)
+    : cfg_(cfg),
+      workload_(workload),
+      mapper_(cfg),
+      req_xbar_(cfg.num_sms, cfg.num_channels, cfg.icnt_latency, /*queue*/ 8),
+      reply_xbar_(cfg.num_channels, cfg.num_sms, cfg.icnt_latency, /*queue*/ 8),
+      divider_(cfg.mem_clock_mhz, cfg.core_clock_mhz) {
+  cfg_.validate();
+
+  workload_.init_memory(fmem_.image());
+
+  sms_.reserve(cfg.num_sms);
+  for (SmId s = 0; s < cfg.num_sms; ++s)
+    sms_.push_back(std::make_unique<Sm>(cfg_, s, workload_, mapper_));
+
+  // Distribute the grid's warps round-robin over the SMs (one wave; workload
+  // models size their grids within max resident warps).
+  const unsigned warps = workload_.num_warps();
+  LD_ASSERT_MSG(warps <= cfg.num_sms * cfg.max_warps_per_sm,
+                "workload grid exceeds one wave of resident warps");
+  for (unsigned w = 0; w < warps; ++w) sms_[w % cfg.num_sms]->assign_warp(w);
+
+  partitions_.reserve(cfg.num_channels);
+  for (ChannelId ch = 0; ch < cfg.num_channels; ++ch) {
+    Partition& p = partitions_.emplace_back(cfg.l2);
+    std::unique_ptr<Scheduler> sched = factory(ch);
+    p.lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
+    p.mc = std::make_unique<MemoryController>(cfg_, ch, mapper_, std::move(sched),
+                                              row_policy);
+    p.vp = std::make_unique<core::ValuePredictor>(
+        p.l2, fmem_, cfg.scheme.vp_set_radius,
+        cfg.scheme.vp_zero_fill ? core::PredictorKind::kZeroFill
+                                : core::PredictorKind::kNearestLine);
+  }
+}
+
+std::uint64_t GpuTop::instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& sm : sms_) total += sm->instructions();
+  return total;
+}
+
+bool GpuTop::finished() const {
+  for (const auto& sm : sms_)
+    if (!sm->all_done()) return false;
+  if (!req_xbar_.idle() || !reply_xbar_.idle()) return false;
+  for (const Partition& p : partitions_) {
+    if (!p.input_backlog.empty() || !p.pending_mc.empty() || !p.pending_replies.empty())
+      return false;
+    if (!p.waiting.empty()) return false;
+    if (!p.mc->idle()) return false;
+  }
+  return true;
+}
+
+void GpuTop::handle_request_packet(Partition& p, unsigned idx, const icnt::Packet& pkt,
+                                   bool& stalled) {
+  stalled = false;
+
+  if (pkt.kind == AccessKind::kWrite) {
+    // Write-back for hits; write-no-allocate for misses (the store stream
+    // goes straight to DRAM, becoming the pending write requests AMS must
+    // respect).
+    if (p.l2.access(pkt.line_addr, /*is_write=*/true).hit) return;
+    if (p.pending_mc.size() >= kPendingMcCap) {
+      stalled = true;
+      return;
+    }
+    MemRequest req;
+    req.id = next_request_id_++;
+    req.line_addr = pkt.line_addr;
+    req.kind = AccessKind::kWrite;
+    p.pending_mc.push_back(req);
+    return;
+  }
+
+  // Read.
+  if (p.l2.access(pkt.line_addr, /*is_write=*/false).hit) {
+    icnt::Packet reply = pkt;
+    reply.approximate = p.l2.line_is_approx(pkt.line_addr);
+    p.pending_replies.push_back(
+        PendingReply{core_cycle_ + cfg_.l2_hit_latency, reply});
+    return;
+  }
+
+  // Miss: merge or allocate.
+  const auto it = p.waiting.find(pkt.line_addr);
+  if (it != p.waiting.end()) {
+    it->second.push_back(pkt);
+    return;
+  }
+  if (p.waiting.size() >= cfg_.l2.mshr_entries || !p.mc->can_accept()) {
+    stalled = true;
+    return;
+  }
+  p.waiting.emplace(pkt.line_addr, std::vector<icnt::Packet>{pkt});
+
+  MemRequest req;
+  req.id = next_request_id_++;
+  req.line_addr = pkt.line_addr;
+  req.kind = AccessKind::kRead;
+  req.approximable = pkt.approximable;
+  req.src_sm = pkt.src_sm;
+  p.mc->enqueue(req, mem_now_);
+  (void)idx;
+}
+
+void GpuTop::partition_tick(Partition& p, unsigned idx, bool mem_ticked) {
+  // 1. DRAM side advances in the memory clock domain.
+  if (mem_ticked) p.mc->tick(mem_now_);
+
+  // 2. Drain deferred MC work (write-backs, stalled writes).
+  while (!p.pending_mc.empty() && p.mc->can_accept()) {
+    p.mc->enqueue(p.pending_mc.front(), mem_now_);
+    p.pending_mc.pop_front();
+  }
+
+  // 3. Accept request packets: backlog first (ordering), then the crossbar.
+  //    The backlog holds only the handful of packets already popped before a
+  //    stall; while it is non-empty the crossbar is NOT drained, so
+  //    backpressure reaches the SMs instead of requests piling up where the
+  //    FR-FCFS scheduler cannot see them.
+  for (unsigned n = 0; n < kInputsPerCycle; ++n) {
+    icnt::Packet pkt;
+    bool from_backlog = false;
+    if (!p.input_backlog.empty()) {
+      pkt = p.input_backlog.front();
+      from_backlog = true;
+    } else {
+      auto popped = req_xbar_.pop(idx, core_cycle_);
+      if (!popped) break;
+      pkt = *popped;
+    }
+    bool stalled = false;
+    handle_request_packet(p, idx, pkt, stalled);
+    if (stalled) {
+      if (!from_backlog) p.input_backlog.push_back(pkt);
+      break;
+    }
+    if (from_backlog) p.input_backlog.pop_front();
+  }
+
+  // 4. Consume DRAM replies: VP-synthesize dropped reads, fill the L2, wake
+  //    the waiting packets.
+  for (unsigned n = 0; n < kRepliesPerCycle; ++n) {
+    auto reply = p.mc->pop_reply(mem_now_);
+    if (!reply) break;
+
+    if (reply->approximate) {
+      // The request never touched DRAM; the VP unit synthesizes the line
+      // from the nearest valid line in nearby L2 sets (Section IV-D).
+      core::ValuePredictor::Prediction pred = p.vp->predict(reply->line_addr);
+      fmem_.record_approx_line(reply->line_addr, pred.data.data());
+    }
+
+    const cache::AccessResult fill =
+        p.l2.fill(reply->line_addr, /*dirty=*/false, reply->approximate);
+    if (fill.writeback) {
+      MemRequest wb;
+      wb.id = next_request_id_++;
+      wb.line_addr = fill.evicted_line;
+      wb.kind = AccessKind::kWrite;
+      p.pending_mc.push_back(wb);
+    }
+
+    const auto it = p.waiting.find(reply->line_addr);
+    LD_ASSERT_MSG(it != p.waiting.end(), "DRAM reply with no waiting L2 miss");
+    for (const icnt::Packet& waiter : it->second) {
+      icnt::Packet out = waiter;
+      out.approximate = reply->approximate;
+      p.pending_replies.push_back(
+          PendingReply{core_cycle_ + cfg_.l2_hit_latency, out});
+    }
+    p.waiting.erase(it);
+  }
+
+  // 5. Return replies toward the SMs.
+  while (!p.pending_replies.empty() && p.pending_replies.front().ready <= core_cycle_ &&
+         reply_xbar_.can_push(idx)) {
+    const icnt::Packet& out = p.pending_replies.front().packet;
+    reply_xbar_.push(idx, out.src_sm, out);
+    p.pending_replies.pop_front();
+  }
+
+  // 6. AMS is gated until the L2 slice is warm enough for the VP to search.
+  if (!p.ams_ready && p.lazy != nullptr &&
+      p.l2.fills() >= cfg_.scheme.l2_warmup_fills) {
+    p.ams_ready = true;
+    p.lazy->set_ams_ready(true);
+  }
+}
+
+void GpuTop::step() {
+  ++core_cycle_;
+  const bool mem_ticked = divider_.tick() > 0;
+  mem_now_ = divider_.slow_cycles();
+
+  for (auto& sm : sms_) sm->tick(core_cycle_, req_xbar_);
+  req_xbar_.tick(core_cycle_);
+  for (unsigned ch = 0; ch < partitions_.size(); ++ch)
+    partition_tick(partitions_[ch], ch, mem_ticked);
+  reply_xbar_.tick(core_cycle_);
+  for (SmId s = 0; s < sms_.size(); ++s)
+    while (auto pkt = reply_xbar_.pop(s, core_cycle_)) sms_[s]->on_reply(*pkt);
+}
+
+bool GpuTop::run(Cycle max_core_cycles) {
+  while (core_cycle_ < max_core_cycles) {
+    step();
+    // finished() scans every structure; polling every cycle would dominate
+    // runtime, and no workload finishes in under 1k cycles.
+    if ((core_cycle_ & 1023) == 0 && finished()) break;
+  }
+  const bool ok = finished();
+  for (Partition& p : partitions_) p.mc->finalize();
+  return ok;
+}
+
+}  // namespace lazydram::gpu

@@ -1,0 +1,118 @@
+// Top-level simulated GPU: SMs + request/reply crossbars + memory partitions
+// (L2 slice, VP unit, memory controller) + clock domains + functional memory.
+//
+// This is the substrate equivalent of GPGPU-Sim's top level for the paper's
+// purposes: it turns a workload model into the interleaved, coalesced DRAM
+// request streams the lazy memory scheduler operates on, and runs the whole
+// machine cycle by cycle until the kernel (all warps) completes and the
+// memory system drains.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "core/value_predictor.hpp"
+#include "dram/address.hpp"
+#include "gpu/functional_memory.hpp"
+#include "gpu/sm.hpp"
+#include "icnt/crossbar.hpp"
+#include "mem/controller.hpp"
+
+namespace lazydram::gpu {
+
+class GpuTop {
+ public:
+  /// Creates the per-channel scheduler. Returning a core::LazyScheduler
+  /// enables the DMS/AMS/VP integration; other Scheduler implementations
+  /// (plain FR-FCFS, FCFS) run without it.
+  using SchedulerFactory = std::function<std::unique_ptr<Scheduler>(ChannelId)>;
+
+  GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
+         const SchedulerFactory& factory, RowPolicy row_policy = RowPolicy::kOpenRow);
+
+  /// Runs until the workload finishes and the memory system drains, or
+  /// `max_core_cycles` elapse. Returns true iff it finished.
+  bool run(Cycle max_core_cycles = 200'000'000);
+
+  /// Advances one core cycle.
+  void step();
+
+  bool finished() const;
+
+  // --- Results ---
+  Cycle core_cycles() const { return core_cycle_; }
+  Cycle mem_cycles() const { return divider_.slow_cycles(); }
+  std::uint64_t instructions() const;
+  double ipc() const {
+    return core_cycle_ == 0
+               ? 0.0
+               : static_cast<double>(instructions()) / static_cast<double>(core_cycle_);
+  }
+
+  unsigned num_channels() const { return static_cast<unsigned>(partitions_.size()); }
+  const MemoryController& controller(ChannelId ch) const { return *partitions_[ch].mc; }
+  const cache::Cache& l2(ChannelId ch) const { return partitions_[ch].l2; }
+  /// The channel's lazy scheduler, or nullptr if another policy runs there.
+  const core::LazyScheduler* lazy(ChannelId ch) const { return partitions_[ch].lazy; }
+  const core::ValuePredictor& vp(ChannelId ch) const { return *partitions_[ch].vp; }
+  const FunctionalMemory& fmem() const { return fmem_; }
+  const AddressMapper& mapper() const { return mapper_; }
+  const Sm& sm(SmId id) const { return *sms_[id]; }
+  unsigned num_sms() const { return static_cast<unsigned>(sms_.size()); }
+
+ private:
+  struct PendingReply {
+    Cycle ready = 0;
+    icnt::Packet packet;
+  };
+
+  struct Partition {
+    cache::Cache l2;
+    std::unique_ptr<MemoryController> mc;
+    core::LazyScheduler* lazy = nullptr;  ///< Borrowed from mc's scheduler.
+    std::unique_ptr<core::ValuePredictor> vp;
+
+    /// L2 miss table: line -> packets waiting for the refill.
+    std::unordered_map<Addr, std::vector<icnt::Packet>> waiting;
+    std::deque<icnt::Packet> input_backlog;   ///< Stalled request packets.
+    std::deque<MemRequest> pending_mc;        ///< Waiting for MC queue space.
+    std::deque<PendingReply> pending_replies; ///< Waiting for reply crossbar.
+    bool ams_ready = false;
+
+    explicit Partition(const CacheGeometry& geo) : l2(geo) {}
+  };
+
+  void partition_tick(Partition& p, unsigned idx, bool mem_ticked);
+  void handle_request_packet(Partition& p, unsigned idx, const icnt::Packet& pkt,
+                             bool& stalled);
+
+  GpuConfig cfg_;
+  const workloads::Workload& workload_;
+  AddressMapper mapper_;
+  FunctionalMemory fmem_;
+
+  std::vector<std::unique_ptr<Sm>> sms_;
+  icnt::Crossbar req_xbar_;
+  icnt::Crossbar reply_xbar_;
+  std::vector<Partition> partitions_;
+
+  ClockDivider divider_;
+  Cycle core_cycle_ = 0;
+  Cycle mem_now_ = 0;
+  RequestId next_request_id_ = 1;
+
+  /// Caps on per-core-cycle partition work (ports).
+  static constexpr unsigned kInputsPerCycle = 2;
+  static constexpr unsigned kRepliesPerCycle = 4;
+  static constexpr std::size_t kPendingMcCap = 64;
+};
+
+}  // namespace lazydram::gpu

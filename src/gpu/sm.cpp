@@ -1,0 +1,215 @@
+#include "gpu/sm.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::gpu {
+
+Sm::Sm(const GpuConfig& cfg, SmId id, const workloads::Workload& workload,
+       const AddressMapper& mapper)
+    : cfg_(cfg),
+      id_(id),
+      workload_(workload),
+      mapper_(mapper),
+      l1_(cfg.l1),
+      mshr_(cfg.l1.mshr_entries),
+      next_packet_id_(static_cast<RequestId>(id) << 40) {}
+
+void Sm::assign_warp(unsigned global_warp_id) {
+  LD_ASSERT_MSG(warps_.size() < cfg_.max_warps_per_sm, "SM warp slots exhausted");
+  Warp w;
+  w.global_id = global_warp_id;
+  warps_.push_back(std::move(w));
+  in_active_.push_back(1);
+  active_.push_back(static_cast<unsigned>(warps_.size() - 1));
+}
+
+void Sm::activate(unsigned warp_idx) {
+  if (in_active_[warp_idx]) return;
+  in_active_[warp_idx] = 1;
+  active_.push_back(warp_idx);
+}
+
+void Sm::on_reply(const icnt::Packet& packet) {
+  // Fill the L1 (never dirty: L1 is write-through) and wake every warp that
+  // merged into this line's MSHR entry.
+  l1_.fill(packet.line_addr, /*dirty=*/false, packet.approximate);
+  for (const cache::MshrToken token : mshr_.release(packet.line_addr)) {
+    const unsigned warp_idx = static_cast<unsigned>(token);
+    Warp& w = warps_[warp_idx];
+    LD_ASSERT(w.outstanding > 0);
+    --w.outstanding;
+    activate(warp_idx);
+  }
+}
+
+Sm::IssueResult Sm::issue_memory_line(unsigned warp_idx, Cycle now,
+                                      icnt::Crossbar& req_xbar, bool& mem_blocked) {
+  Warp& w = warps_[warp_idx];
+  const Addr line = w.lines[w.lines_issued];
+
+  if (w.op.kind == WarpOp::Kind::kStore) {
+    // Write-through, no-allocate: update the L1 copy if present, then send
+    // the write toward the L2 slice. Fire-and-forget (no scoreboard entry).
+    if (!req_xbar.can_push(id_)) {
+      mem_blocked = true;
+      return IssueResult::kPollBlocked;
+    }
+    l1_.access(line, /*is_write=*/true);
+    icnt::Packet pkt;
+    pkt.id = ++next_packet_id_;
+    pkt.line_addr = line;
+    pkt.kind = AccessKind::kWrite;
+    pkt.src_sm = id_;
+    req_xbar.push(id_, mapper_.channel_of(line), pkt);
+    return IssueResult::kIssued;
+  }
+
+  // Load path.
+  if (l1_.access(line, /*is_write=*/false).hit) {
+    ++w.outstanding;
+    completions_.emplace_back(now + cfg_.l1_hit_latency, warp_idx);
+    return IssueResult::kIssued;
+  }
+
+  // Miss: merge into an existing MSHR entry, or allocate a new one and send
+  // the request to the home partition.
+  const bool is_merge = mshr_.has(line);
+  if (!mshr_.can_allocate(line)) {
+    if (!is_merge) mem_blocked = true;  // Table full: SM-global condition.
+    return IssueResult::kPollBlocked;
+  }
+  if (!is_merge && !req_xbar.can_push(id_)) {
+    mem_blocked = true;
+    return IssueResult::kPollBlocked;
+  }
+
+  const bool primary = mshr_.allocate(line, warp_idx);
+  LD_ASSERT(primary == !is_merge);
+  ++w.outstanding;
+
+  if (primary) {
+    icnt::Packet pkt;
+    pkt.id = ++next_packet_id_;
+    pkt.line_addr = line;
+    pkt.kind = AccessKind::kRead;
+    pkt.approximable = w.op.approximable;
+    pkt.src_sm = id_;
+    req_xbar.push(id_, mapper_.channel_of(line), pkt);
+  }
+  return IssueResult::kIssued;
+}
+
+Sm::IssueResult Sm::try_issue(unsigned warp_idx, Cycle now, icnt::Crossbar& req_xbar,
+                              bool& mem_blocked) {
+  Warp& w = warps_[warp_idx];
+  if (w.done) return IssueResult::kSleep;
+  if (w.busy_until > now) {
+    timers_.emplace(w.busy_until, warp_idx);
+    return IssueResult::kSleep;
+  }
+
+  // Decode the next op if none is in progress.
+  if (!w.has_op) {
+    WarpOp op;
+    if (!workload_.op_at(w.global_id, w.step, op)) {
+      // Program ended; the warp retires once its loads have drained.
+      if (w.outstanding == 0) {
+        w.done = true;
+        ++done_warps_;
+      }
+      return IssueResult::kSleep;  // Wakes via reply if loads outstanding.
+    }
+    w.op = op;
+    w.has_op = true;
+    w.lines_issued = 0;
+    if (op.kind != WarpOp::Kind::kCompute) {
+      coalesce(op, w.lines);
+      LD_ASSERT_MSG(!w.lines.empty(), "memory op with no addresses");
+    }
+  }
+
+  if (w.op.kind == WarpOp::Kind::kCompute) {
+    // In-order dependence: computation consumes prior loads. Wake: reply.
+    if (w.outstanding > 0) return IssueResult::kSleep;
+    w.busy_until = now + w.op.cycles;
+    ++w.instructions;
+    ++instructions_;
+    ++w.step;
+    w.has_op = false;
+    return IssueResult::kIssued;  // Stays active; timer fires when scanned busy.
+  }
+
+  // Memory op: one line per cycle.
+  if (mem_blocked) return IssueResult::kPollBlocked;
+  const IssueResult result = issue_memory_line(warp_idx, now, req_xbar, mem_blocked);
+  if (result != IssueResult::kIssued) {
+    ++stall_cycles_;
+    return result;
+  }
+  ++w.lines_issued;
+  if (w.lines_issued == w.lines.size()) {
+    ++w.instructions;
+    ++instructions_;
+    ++w.step;
+    w.has_op = false;
+  }
+  return IssueResult::kIssued;
+}
+
+void Sm::tick(Cycle now, icnt::Crossbar& req_xbar) {
+  // Retire L1 hits whose latency has elapsed.
+  while (!completions_.empty() && completions_.front().first <= now) {
+    const unsigned warp_idx = completions_.front().second;
+    Warp& w = warps_[warp_idx];
+    LD_ASSERT(w.outstanding > 0);
+    --w.outstanding;
+    activate(warp_idx);
+    completions_.pop_front();
+  }
+
+  // Wake compute-occupancy expirations.
+  while (!timers_.empty() && timers_.top().first <= now) {
+    activate(timers_.top().second);
+    timers_.pop();
+  }
+
+  bool mem_blocked = false;
+
+  // A multi-line memory instruction owns the load/store unit until all its
+  // transactions have issued (as in real hardware): if a warp is mid-op, it
+  // has strict priority. Keeping one instruction's lines consecutive is what
+  // lets same-row transactions reach the memory controller together.
+  if (lsu_owner_ >= 0) {
+    const unsigned owner = static_cast<unsigned>(lsu_owner_);
+    const IssueResult result = try_issue(owner, now, req_xbar, mem_blocked);
+    if (result == IssueResult::kIssued && !warps_[owner].has_op) lsu_owner_ = -1;
+    return;  // The LSU owner consumes the issue slot until its op completes.
+  }
+
+  // Scan active warps; issue for the first that can. Warps that block with a
+  // known wake event are removed (swap-remove keeps the scan O(active)).
+  for (std::size_t j = 0; j < active_.size();) {
+    const unsigned warp_idx = active_[j];
+    const IssueResult result = try_issue(warp_idx, now, req_xbar, mem_blocked);
+    if (result == IssueResult::kIssued) {
+      const Warp& w = warps_[warp_idx];
+      if (w.has_op && w.op.kind != WarpOp::Kind::kCompute) {
+        lsu_owner_ = static_cast<int>(warp_idx);  // Mid-op: hold the LSU.
+      } else {
+        // Completed op: loose round-robin sends the warp to the back.
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(j));
+        active_.push_back(warp_idx);
+      }
+      return;
+    }
+    if (result == IssueResult::kSleep) {
+      in_active_[warp_idx] = 0;
+      active_[j] = active_.back();
+      active_.pop_back();
+      continue;  // Re-examine the swapped-in entry at j.
+    }
+    ++j;  // kPollBlocked: stays active.
+  }
+}
+
+}  // namespace lazydram::gpu

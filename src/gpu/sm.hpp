@@ -1,0 +1,101 @@
+// One Streaming Multiprocessor: warp contexts, loose round-robin warp
+// scheduling, a private L1 data cache with MSHRs, and the request/reply
+// interface to the interconnect.
+//
+// Issue model: one warp operation (or one line of a multi-line memory op)
+// per core cycle. Loads are non-blocking; a warp blocks at its next
+// kCompute/kStore op until all its outstanding loads have returned — the
+// same in-order-core-with-MLP model GPGPU-Sim's scoreboard enforces.
+//
+// Scheduling is event-driven for speed: only *active* warps are scanned each
+// cycle. A warp leaves the active list when it blocks for a reason with a
+// known wake event (compute occupancy -> timer; outstanding loads -> reply/
+// completion) and re-enters on that event. Warps blocked on SM-global
+// resources (crossbar slot, MSHR table) stay active and poll.
+#pragma once
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "dram/address.hpp"
+#include "gpu/coalescer.hpp"
+#include "gpu/warp.hpp"
+#include "icnt/crossbar.hpp"
+#include "workloads/workload.hpp"
+
+namespace lazydram::gpu {
+
+class Sm {
+ public:
+  Sm(const GpuConfig& cfg, SmId id, const workloads::Workload& workload,
+     const AddressMapper& mapper);
+
+  /// Adds a resident warp executing the workload's stream `global_warp_id`.
+  /// Precondition: resident_warps() < max_warps_per_sm.
+  void assign_warp(unsigned global_warp_id);
+  unsigned resident_warps() const { return static_cast<unsigned>(warps_.size()); }
+
+  /// One core cycle: retire L1-hit completions, wake timed-out warps, then
+  /// issue at most one warp op / memory line. L1 misses are pushed into
+  /// `req_xbar` (port `id()`).
+  void tick(Cycle now, icnt::Crossbar& req_xbar);
+
+  /// Delivers a reply packet from the memory side.
+  void on_reply(const icnt::Packet& packet);
+
+  bool all_done() const { return done_warps_ == warps_.size(); }
+
+  SmId id() const { return id_; }
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t l1_miss_stalls() const { return stall_cycles_; }
+  const cache::Cache& l1() const { return l1_; }
+
+ private:
+  enum class IssueResult {
+    kIssued,       ///< Used the issue slot.
+    kPollBlocked,  ///< Blocked on a pollable resource; stay active.
+    kSleep,        ///< Blocked with a known wake event; deactivate.
+  };
+
+  IssueResult try_issue(unsigned warp_idx, Cycle now, icnt::Crossbar& req_xbar,
+                        bool& mem_blocked);
+  IssueResult issue_memory_line(unsigned warp_idx, Cycle now, icnt::Crossbar& req_xbar,
+                                bool& mem_blocked);
+
+  void activate(unsigned warp_idx);
+
+  const GpuConfig& cfg_;
+  SmId id_;
+  const workloads::Workload& workload_;
+  const AddressMapper& mapper_;
+
+  cache::Cache l1_;
+  cache::MshrTable mshr_;  ///< Token = warp index within warps_.
+  std::vector<Warp> warps_;
+  std::size_t done_warps_ = 0;
+
+  std::vector<unsigned> active_;    ///< Warp indices eligible for issue scan.
+  std::vector<std::uint8_t> in_active_;
+  /// (wake cycle, warp): compute-occupancy expirations.
+  std::priority_queue<std::pair<Cycle, unsigned>, std::vector<std::pair<Cycle, unsigned>>,
+                      std::greater<>>
+      timers_;
+
+  /// L1 hits complete after l1_hit_latency: (ready cycle, warp index).
+  std::deque<std::pair<Cycle, unsigned>> completions_;
+
+  /// Warp index currently owning the load/store unit mid-instruction
+  /// (issues its remaining transactions with strict priority); -1 if none.
+  int lsu_owner_ = -1;
+
+  std::uint64_t instructions_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+  RequestId next_packet_id_;
+};
+
+}  // namespace lazydram::gpu

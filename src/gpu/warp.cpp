@@ -1,0 +1,1 @@
+// gpu/warp.hpp is header-only; this TU anchors the module.

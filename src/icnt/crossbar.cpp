@@ -1,0 +1,70 @@
+#include "icnt/crossbar.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::icnt {
+
+Crossbar::Crossbar(unsigned num_sources, unsigned num_destinations, unsigned latency,
+                   std::size_t input_queue_capacity, std::size_t output_queue_capacity)
+    : num_src_(num_sources),
+      num_dst_(num_destinations),
+      latency_(latency),
+      capacity_(input_queue_capacity),
+      out_capacity_(output_queue_capacity),
+      inputs_(num_sources),
+      outputs_(num_destinations),
+      rr_(num_destinations, 0) {
+  LD_ASSERT(num_sources > 0 && num_destinations > 0 && input_queue_capacity > 0);
+  LD_ASSERT(output_queue_capacity > 0);
+}
+
+bool Crossbar::can_push(unsigned src) const {
+  LD_ASSERT(src < num_src_);
+  return inputs_[src].size() < capacity_;
+}
+
+void Crossbar::push(unsigned src, unsigned dst, const Packet& packet) {
+  LD_ASSERT_MSG(can_push(src), "push into full crossbar input queue");
+  LD_ASSERT(dst < num_dst_);
+  inputs_[src].push_back(InputEntry{packet, dst});
+  ++queued_;
+}
+
+void Crossbar::tick(Cycle now) {
+  if (queued_ == 0) return;
+  // Each destination grants at most one source per cycle, scanning sources
+  // round-robin from its own pointer (iSLIP-style fairness).
+  for (unsigned dst = 0; dst < num_dst_; ++dst) {
+    if (outputs_[dst].size() >= out_capacity_) continue;  // No credit: stall.
+    for (unsigned i = 0; i < num_src_; ++i) {
+      const unsigned src = (rr_[dst] + i) % num_src_;
+      auto& q = inputs_[src];
+      if (q.empty() || q.front().dst != dst) continue;
+      outputs_[dst].push_back(InFlight{q.front().packet, now + latency_});
+      q.pop_front();
+      --queued_;
+      rr_[dst] = (src + 1) % num_src_;
+      break;
+    }
+  }
+}
+
+std::optional<Packet> Crossbar::pop(unsigned dst, Cycle now) {
+  LD_ASSERT(dst < num_dst_);
+  auto& q = outputs_[dst];
+  if (q.empty() || q.front().ready > now) return std::nullopt;
+  Packet p = q.front().packet;
+  q.pop_front();
+  ++delivered_;
+  return p;
+}
+
+bool Crossbar::idle() const {
+  for (const auto& q : inputs_)
+    if (!q.empty()) return false;
+  for (const auto& q : outputs_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+}  // namespace lazydram::icnt

@@ -1,0 +1,82 @@
+// Crossbar interconnect (Table I: one crossbar per direction between the 30
+// SMs and the 6 memory partitions).
+//
+// Model: per-source FIFO input queues (head-of-line blocking, as in a real
+// input-queued switch), one packet accepted per destination per core cycle
+// with round-robin arbitration across sources, and a fixed traversal latency.
+// The same class serves both directions (SM->MC requests, MC->SM replies).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace lazydram::icnt {
+
+/// One 128B-granularity message. Requests travel SM -> partition; replies
+/// travel partition -> SM. Unused fields are zero for a given direction.
+struct Packet {
+  RequestId id = 0;
+  Addr line_addr = 0;
+  AccessKind kind = AccessKind::kRead;
+  bool approximable = false;  ///< Request: annotated-approximable load.
+  bool approximate = false;   ///< Reply: value was VP-synthesized.
+  SmId src_sm = 0;            ///< Originating SM (for reply routing).
+};
+
+class Crossbar {
+ public:
+  /// `output_queue_capacity` bounds the per-destination landing buffer: a
+  /// destination stops granting new packets while its buffer is full, so
+  /// backpressure propagates through the switch to the sources instead of
+  /// packets piling up invisibly (credit-based flow control).
+  Crossbar(unsigned num_sources, unsigned num_destinations, unsigned latency,
+           std::size_t input_queue_capacity, std::size_t output_queue_capacity = 8);
+
+  /// True if source `src` can inject one more packet this cycle.
+  bool can_push(unsigned src) const;
+
+  /// Injects a packet from `src` toward `dst`. Precondition: can_push(src).
+  void push(unsigned src, unsigned dst, const Packet& packet);
+
+  /// Advances one core cycle: each destination accepts at most one
+  /// head-of-line packet (round-robin over sources); accepted packets become
+  /// poppable `latency` cycles later.
+  void tick(Cycle now);
+
+  /// Next packet that has arrived at `dst` by `now`, if any.
+  std::optional<Packet> pop(unsigned dst, Cycle now);
+
+  /// True when no packet is anywhere in the switch.
+  bool idle() const;
+
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct InFlight {
+    Packet packet;
+    Cycle ready = 0;
+  };
+  struct InputEntry {
+    Packet packet;
+    unsigned dst = 0;
+  };
+
+  unsigned num_src_;
+  unsigned num_dst_;
+  unsigned latency_;
+  std::size_t capacity_;
+  std::size_t out_capacity_;
+
+  std::vector<std::deque<InputEntry>> inputs_;   ///< Per source.
+  std::vector<std::deque<InFlight>> outputs_;    ///< Per destination.
+  std::vector<unsigned> rr_;                     ///< Per destination arbiter state.
+  std::uint64_t delivered_ = 0;
+  std::uint64_t queued_ = 0;  ///< Packets waiting in input queues (fast-exit).
+};
+
+}  // namespace lazydram::icnt

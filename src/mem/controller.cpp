@@ -1,0 +1,149 @@
+#include "mem/controller.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lazydram {
+
+using dram::CommandKind;
+
+MemoryController::MemoryController(const GpuConfig& cfg, ChannelId id,
+                                   const AddressMapper& mapper,
+                                   std::unique_ptr<Scheduler> scheduler,
+                                   RowPolicy row_policy)
+    : id_(id),
+      mapper_(mapper),
+      row_policy_(row_policy),
+      queue_(cfg.pending_queue_size, cfg.banks_per_channel),
+      dram_(cfg, id),
+      scheduler_(std::move(scheduler)),
+      num_banks_(cfg.banks_per_channel) {
+  LD_ASSERT(scheduler_ != nullptr);
+}
+
+void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
+  LD_ASSERT_MSG(can_accept(), "enqueue into full pending queue");
+  req.enqueue_cycle = now_mem;
+  req.loc = mapper_.map(req.line_addr);
+  LD_ASSERT_MSG(req.loc.channel == id_, "request routed to wrong channel");
+  if (req.is_read())
+    ++reads_received_;
+  else
+    ++writes_received_;
+  scheduler_->on_enqueue(req);
+  queue_.push(std::move(req));
+}
+
+void MemoryController::complete_bursts(Cycle now) {
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->done > now) {
+      ++it;
+      continue;
+    }
+    if (it->req.is_read()) {
+      ++reads_served_;
+      read_latency_.add(static_cast<double>(it->done - it->req.enqueue_cycle));
+      replies_.push_back(MemReply{it->req.id, it->req.line_addr, it->req.src_sm,
+                                  /*approximate=*/false, it->done});
+    } else {
+      ++writes_served_;
+    }
+    it = inflight_.erase(it);
+  }
+}
+
+bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
+  const BankId b = req.loc.bank;
+  const dram::Bank& bank = dram_.bank(b);
+
+  if (bank.row_open() && bank.open_row() == req.loc.row) {
+    const CommandKind cas = req.is_read() ? CommandKind::kRead : CommandKind::kWrite;
+    if (!dram_.can_issue(cas, b, now)) return false;
+    const Cycle done = dram_.issue(cas, b, req.loc.row, now);
+    MemRequest popped = queue_.erase(req.id);
+    scheduler_->on_serve(popped);
+    inflight_.push_back(InFlight{std::move(popped), done});
+    return true;
+  }
+
+  if (bank.row_open()) {
+    // Demand precharge: the scheduler chose a request for another row.
+    // (Hit-first policies only reach here with no pending hits; plain FCFS
+    // may legitimately close a row that still has younger hits pending.)
+    if (!dram_.can_issue(CommandKind::kPrecharge, b, now)) return false;
+    dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
+    return true;
+  }
+
+  if (!dram_.can_issue(CommandKind::kActivate, b, now)) return false;
+  dram_.issue(CommandKind::kActivate, b, req.loc.row, now);
+  return true;
+}
+
+void MemoryController::issue_one_command(Cycle now) {
+  for (unsigned i = 0; i < num_banks_; ++i) {
+    const BankId b = (rr_bank_ + i) % num_banks_;
+    const dram::Bank& bank = dram_.bank(b);
+    const BankView view{b, bank.row_open(), bank.open_row()};
+
+    const Decision d = scheduler_->decide(queue_, view, now);
+    if (d.action == Decision::Action::kServe) {
+      const MemRequest* req = queue_.find(d.req_id);
+      LD_ASSERT_MSG(req != nullptr, "scheduler chose a request not in the queue");
+      LD_ASSERT_MSG(req->loc.bank == b, "scheduler chose a request for another bank");
+      if (advance_request(*req, now)) {
+        rr_bank_ = (b + 1) % num_banks_;
+        return;
+      }
+      continue;  // Command not legal this cycle; give other banks a chance.
+    }
+
+    // Closed-row ablation: precharge banks left open with no work for the
+    // open row. (Under open-row policy rows stay open until a conflict.)
+    if (row_policy_ == RowPolicy::kClosedRow && bank.row_open() &&
+        bank.open_row_accesses() > 0 &&
+        queue_.oldest_for_row(b, bank.open_row()) == nullptr &&
+        dram_.can_issue(CommandKind::kPrecharge, b, now)) {
+      dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
+      rr_bank_ = (b + 1) % num_banks_;
+      return;
+    }
+  }
+}
+
+void MemoryController::tick(Cycle now_mem) {
+  complete_bursts(now_mem);
+  scheduler_->tick(now_mem, dram_.bus_busy_cycles());
+
+  // At most one AMS drop per cycle ("dropped sequentially in the following
+  // memory cycles", Section IV-C). Drops use the reply path, not the DRAM
+  // command bus, so a drop and a DRAM command can share a cycle.
+  for (unsigned i = 0; scheduler_->may_drop() && i < num_banks_; ++i) {
+    const BankId b = static_cast<BankId>(i);
+    const dram::Bank& bank = dram_.bank(b);
+    const BankView view{b, bank.row_open(), bank.open_row()};
+    const Decision d = scheduler_->decide(queue_, view, now_mem);
+    if (d.action != Decision::Action::kDrop) continue;
+    MemRequest dropped = queue_.erase(d.req_id);
+    LD_ASSERT_MSG(dropped.is_read(), "AMS must only drop reads");
+    ++reads_dropped_;
+    scheduler_->on_drop(dropped);
+    replies_.push_back(MemReply{dropped.id, dropped.line_addr, dropped.src_sm,
+                                /*approximate=*/true, now_mem});
+    break;
+  }
+
+  issue_one_command(now_mem);
+}
+
+std::optional<MemReply> MemoryController::pop_reply(Cycle now_mem) {
+  if (replies_.empty() || replies_.front().ready_cycle > now_mem) return std::nullopt;
+  MemReply r = replies_.front();
+  replies_.pop_front();
+  return r;
+}
+
+void MemoryController::finalize() { dram_.flush_open_rows(); }
+
+}  // namespace lazydram

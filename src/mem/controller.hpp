@@ -1,0 +1,107 @@
+// Per-channel memory controller: pending queue + command engine.
+//
+// Each memory cycle the controller
+//   1. retires finished bursts into the reply queue,
+//   2. lets the scheduler observe the cycle (profiling windows),
+//   3. executes at most one AMS drop (requests removed without DRAM service),
+//   4. issues at most one DRAM command (shared command bus), chosen by asking
+//      the scheduler, bank by bank in round-robin order, which request to
+//      advance, and stepping that request through PRE -> ACT -> RD/WR.
+//
+// Row policy is open-row by default (rows stay open until a conflicting
+// request needs the bank); kClosedRow eagerly precharges idle banks and is
+// used only by ablation benches.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/address.hpp"
+#include "dram/channel.hpp"
+#include "mem/pending_queue.hpp"
+#include "mem/request.hpp"
+#include "mem/scheduler.hpp"
+
+namespace lazydram {
+
+enum class RowPolicy { kOpenRow, kClosedRow };
+
+class MemoryController {
+ public:
+  MemoryController(const GpuConfig& cfg, ChannelId id, const AddressMapper& mapper,
+                   std::unique_ptr<Scheduler> scheduler,
+                   RowPolicy row_policy = RowPolicy::kOpenRow);
+
+  /// True if the pending queue can take one more request.
+  bool can_accept() const { return !queue_.full(); }
+
+  /// Enqueues a request (stamps enqueue_cycle and DRAM coordinates).
+  /// Precondition: can_accept().
+  void enqueue(MemRequest req, Cycle now_mem);
+
+  void tick(Cycle now_mem);
+
+  /// Pops the next ready reply, if any became ready at or before `now_mem`.
+  std::optional<MemReply> pop_reply(Cycle now_mem);
+
+  /// True once every enqueued request has been served or dropped and all
+  /// replies have been drained.
+  bool idle() const { return queue_.empty() && inflight_.empty() && replies_.empty(); }
+
+  // --- Introspection for metrics, tests and benches ---
+  ChannelId id() const { return id_; }
+  const dram::DramChannel& channel() const { return dram_; }
+  const PendingQueue& queue() const { return queue_; }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  std::uint64_t reads_received() const { return reads_received_; }
+  std::uint64_t writes_received() const { return writes_received_; }
+  std::uint64_t reads_served() const { return reads_served_; }
+  std::uint64_t writes_served() const { return writes_served_; }
+  std::uint64_t reads_dropped() const { return reads_dropped_; }
+  const Summary& read_latency() const { return read_latency_; }
+
+  /// Ends the run: folds still-open rows into the RBL histograms.
+  void finalize();
+
+ private:
+  struct InFlight {
+    MemRequest req;
+    Cycle done = 0;
+  };
+
+  /// Attempts one command step toward serving `req`; returns true if a DRAM
+  /// command was issued this cycle.
+  bool advance_request(const MemRequest& req, Cycle now);
+
+  void complete_bursts(Cycle now);
+  void issue_one_command(Cycle now);
+
+  ChannelId id_;
+  const AddressMapper& mapper_;
+  RowPolicy row_policy_;
+
+  PendingQueue queue_;
+  dram::DramChannel dram_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::vector<InFlight> inflight_;
+  std::deque<MemReply> replies_;
+
+  unsigned rr_bank_ = 0;
+  unsigned num_banks_;
+
+  std::uint64_t reads_received_ = 0;
+  std::uint64_t writes_received_ = 0;
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t writes_served_ = 0;
+  std::uint64_t reads_dropped_ = 0;
+  Summary read_latency_;
+};
+
+}  // namespace lazydram

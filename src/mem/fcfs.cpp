@@ -1,0 +1,13 @@
+#include "mem/fcfs.hpp"
+
+namespace lazydram {
+
+Decision FcfsScheduler::decide(const PendingQueue& queue, const BankView& bank,
+                               Cycle now) {
+  (void)now;
+  if (const MemRequest* oldest = queue.oldest_for_bank(bank.bank))
+    return Decision::serve(oldest->id);
+  return Decision::none();
+}
+
+}  // namespace lazydram

@@ -1,0 +1,17 @@
+#include "mem/frfcfs.hpp"
+
+namespace lazydram {
+
+Decision FrFcfsScheduler::decide(const PendingQueue& queue, const BankView& bank,
+                                 Cycle now) {
+  (void)now;
+  if (bank.row_open) {
+    if (const MemRequest* hit = queue.oldest_for_row(bank.bank, bank.open_row))
+      return Decision::serve(hit->id);
+  }
+  if (const MemRequest* oldest = queue.oldest_for_bank(bank.bank))
+    return Decision::serve(oldest->id);
+  return Decision::none();
+}
+
+}  // namespace lazydram

@@ -1,0 +1,70 @@
+#include "mem/pending_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lazydram {
+
+void PendingQueue::push(MemRequest req) {
+  LD_ASSERT_MSG(!full(), "push into full pending queue");
+  LD_ASSERT_MSG(req.loc.bank < by_bank_.size(), "request bank out of range");
+  LD_ASSERT_MSG(by_id_.count(req.id) == 0, "duplicate request id");
+  entries_.push_back(std::move(req));
+  const auto it = std::prev(entries_.end());
+  by_id_.emplace(it->id, it);
+  by_bank_[it->loc.bank].push_back(&*it);
+}
+
+const MemRequest* PendingQueue::oldest_for_row(BankId bank, RowId row) const {
+  for (const MemRequest* r : by_bank_[bank])
+    if (r->loc.row == row) return r;
+  return nullptr;
+}
+
+const MemRequest* PendingQueue::oldest_for_bank(BankId bank) const {
+  const auto& v = by_bank_[bank];
+  return v.empty() ? nullptr : v.front();
+}
+
+unsigned PendingQueue::row_group_size(BankId bank, RowId row) const {
+  unsigned n = 0;
+  for (const MemRequest* r : by_bank_[bank])
+    if (r->loc.row == row) ++n;
+  return n;
+}
+
+bool PendingQueue::row_group_all_reads(BankId bank, RowId row) const {
+  for (const MemRequest* r : by_bank_[bank])
+    if (r->loc.row == row && !r->is_read()) return false;
+  return true;
+}
+
+bool PendingQueue::row_group_all_approximable(BankId bank, RowId row) const {
+  for (const MemRequest* r : by_bank_[bank])
+    if (r->loc.row == row && !(r->is_read() && r->approximable)) return false;
+  return true;
+}
+
+MemRequest PendingQueue::erase(RequestId id) {
+  const auto it = by_id_.find(id);
+  LD_ASSERT_MSG(it != by_id_.end(), "erase of unknown request id");
+  const auto list_it = it->second;
+
+  auto& bank_vec = by_bank_[list_it->loc.bank];
+  const auto vec_it = std::find(bank_vec.begin(), bank_vec.end(), &*list_it);
+  LD_ASSERT(vec_it != bank_vec.end());
+  bank_vec.erase(vec_it);
+
+  MemRequest out = std::move(*list_it);
+  entries_.erase(list_it);
+  by_id_.erase(it);
+  return out;
+}
+
+const MemRequest* PendingQueue::find(RequestId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &*it->second;
+}
+
+}  // namespace lazydram

@@ -1,0 +1,79 @@
+// The FR-FCFS re-order pending queue (128 entries per MC in the baseline).
+//
+// Requests are kept in arrival order; all scheduler policies express their
+// priority rules as scans over this order. The queue also answers the
+// row-group questions the AMS unit asks ("how many pending requests share
+// this row?", "are they all approximable global reads?").
+//
+// Schedulers consult the queue for every bank on every memory cycle, so the
+// queue keeps a per-bank arrival-ordered index: each policy question then
+// touches only the (queue_size / num_banks) requests of one bank.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace lazydram {
+
+class PendingQueue {
+ public:
+  PendingQueue(std::size_t capacity, unsigned num_banks)
+      : capacity_(capacity), by_bank_(num_banks) {}
+
+  bool full() const { return by_id_.size() >= capacity_; }
+  bool empty() const { return by_id_.empty(); }
+  std::size_t size() const { return by_id_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Appends a request. Precondition: !full().
+  void push(MemRequest req);
+
+  /// Oldest-first iteration (arrival order) over all banks.
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  /// Oldest pending request destined to (bank, row), i.e. a row-buffer hit
+  /// candidate when `row` is the bank's open row.
+  const MemRequest* oldest_for_row(BankId bank, RowId row) const;
+
+  /// Oldest pending request destined to `bank` (any row).
+  const MemRequest* oldest_for_bank(BankId bank) const;
+
+  /// Oldest request overall.
+  const MemRequest* oldest() const {
+    return entries_.empty() ? nullptr : &entries_.front();
+  }
+
+  /// Arrival-ordered requests of one bank.
+  const std::vector<const MemRequest*>& bank_requests(BankId bank) const {
+    return by_bank_[bank];
+  }
+
+  /// Number of pending requests destined to (bank, row) — the RBL this row's
+  /// activation is expected to achieve from the queue's viewpoint.
+  unsigned row_group_size(BankId bank, RowId row) const;
+
+  /// True iff every pending request to (bank, row) is a global read.
+  bool row_group_all_reads(BankId bank, RowId row) const;
+
+  /// True iff every pending request to (bank, row) is an approximable read.
+  bool row_group_all_approximable(BankId bank, RowId row) const;
+
+  /// Removes the request with `id`; returns it. Aborts if absent.
+  MemRequest erase(RequestId id);
+
+  const MemRequest* find(RequestId id) const;
+
+ private:
+  std::size_t capacity_;
+  std::list<MemRequest> entries_;                      ///< Arrival order.
+  std::vector<std::vector<const MemRequest*>> by_bank_;  ///< Arrival order per bank.
+  std::unordered_map<RequestId, std::list<MemRequest>::iterator> by_id_;
+};
+
+}  // namespace lazydram

@@ -1,0 +1,1 @@
+// mem/request.hpp is header-only; this TU anchors the module.

@@ -1,0 +1,54 @@
+// Memory request/reply types exchanged between the L2 slices and the
+// memory controllers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/address.hpp"
+
+namespace lazydram {
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// One 128B DRAM transaction pending at a memory controller.
+struct MemRequest {
+  RequestId id = 0;
+  Addr line_addr = 0;  ///< 128B-aligned global address.
+  AccessKind kind = AccessKind::kRead;
+
+  /// True iff this is a global read into a programmer-annotated approximable
+  /// region (the paper's `#pragma pred_var`); only such requests are AMS
+  /// drop candidates.
+  bool approximable = false;
+
+  /// Reply routing: which SM/warp unblocks when this read completes.
+  /// Writes (dirty L2 evictions) carry src_sm == kNoSm and need no reply.
+  SmId src_sm = kNoSm;
+
+  /// Memory-domain cycle the request entered the pending queue. DMS ages
+  /// requests against this stamp ("each request is assigned a time stamp
+  /// when it enters the pending queue", Section IV-A).
+  Cycle enqueue_cycle = 0;
+
+  /// Pre-computed DRAM coordinates of line_addr.
+  DramLocation loc{};
+
+  static constexpr SmId kNoSm = ~SmId{0};
+
+  bool is_read() const { return kind == AccessKind::kRead; }
+};
+
+/// Completion notice traveling back toward the cores.
+struct MemReply {
+  RequestId id = 0;
+  Addr line_addr = 0;
+  SmId src_sm = MemRequest::kNoSm;
+  /// True if the value was synthesized by the VP unit (AMS drop) rather than
+  /// read from the DRAM array.
+  bool approximate = false;
+  /// Memory-domain cycle the reply became available at the controller.
+  Cycle ready_cycle = 0;
+};
+
+}  // namespace lazydram

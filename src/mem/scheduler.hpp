@@ -1,0 +1,70 @@
+// Memory-scheduler policy interface.
+//
+// The MemoryController owns the command engine (PRE/ACT/RD/WR sequencing and
+// timing legality); a Scheduler only answers the *policy* question: "which
+// pending request should bank B work toward right now — or should one be
+// dropped to the value predictor instead?". This split lets FR-FCFS, FCFS and
+// the paper's lazy scheduler share one verified command engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/pending_queue.hpp"
+
+namespace lazydram {
+
+/// Snapshot of a bank's externally visible state.
+struct BankView {
+  BankId bank = 0;
+  bool row_open = false;
+  RowId open_row = kInvalidRow;
+};
+
+/// A scheduling decision for one bank at one memory cycle.
+struct Decision {
+  enum class Action : std::uint8_t {
+    kNone,   ///< Nothing to do for this bank now (empty / gated by policy).
+    kServe,  ///< Advance `req_id` toward service (PRE/ACT/RD/WR as needed).
+    kDrop,   ///< Remove `req_id` from the queue; reply via the VP unit (AMS).
+  };
+  Action action = Action::kNone;
+  RequestId req_id = 0;
+
+  static Decision none() { return {}; }
+  static Decision serve(RequestId id) { return {Action::kServe, id}; }
+  static Decision drop(RequestId id) { return {Action::kDrop, id}; }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Policy decision for `bank` at memory cycle `now`. Must be free of
+  /// observable side effects: the controller may call it more than once per
+  /// cycle per bank (once in the drop pass, once in the command pass).
+  virtual Decision decide(const PendingQueue& queue, const BankView& bank, Cycle now) = 0;
+
+  /// Cheap pre-check: can this policy ever answer kDrop right now? The
+  /// controller skips the per-bank drop pass entirely when false, keeping
+  /// the non-AMS schemes on the fast path.
+  virtual bool may_drop() const { return false; }
+
+  /// Called once per memory cycle before any decide(); `bus_busy_total` is
+  /// the channel's cumulative data-bus busy cycle count (BWUTIL numerator).
+  virtual void tick(Cycle now, std::uint64_t bus_busy_total) {
+    (void)now;
+    (void)bus_busy_total;
+  }
+
+  /// Notification: a request entered the pending queue.
+  virtual void on_enqueue(const MemRequest& req) { (void)req; }
+
+  /// Notification: a request left the queue because its column access issued.
+  virtual void on_serve(const MemRequest& req) { (void)req; }
+
+  /// Notification: a request left the queue because AMS dropped it.
+  virtual void on_drop(const MemRequest& req) { (void)req; }
+};
+
+}  // namespace lazydram

@@ -1,0 +1,93 @@
+#include "sim/characterize.hpp"
+
+#include "workloads/registry.hpp"
+
+namespace lazydram::sim {
+
+using workloads::Level;
+
+Level classify_thrashing(double rbl18_share) {
+  if (rbl18_share >= 0.10) return Level::kHigh;
+  if (rbl18_share >= 0.03) return Level::kMedium;
+  return Level::kLow;
+}
+
+Level classify_delay_tolerance(Cycle mtd) {
+  if (mtd >= 1024) return Level::kHigh;
+  if (mtd >= 256) return Level::kMedium;
+  return Level::kLow;
+}
+
+Level classify_act_sensitivity(double reduction) {
+  if (reduction >= 0.20) return Level::kHigh;
+  if (reduction >= 0.10) return Level::kMedium;
+  return Level::kLow;
+}
+
+bool classify_th_sensitivity(double extra_reduction) { return extra_reduction >= 0.05; }
+
+Level classify_error_tolerance(double error) {
+  if (error >= 0.20) return Level::kLow;
+  if (error >= 0.05) return Level::kMedium;
+  return Level::kHigh;
+}
+
+Characterization characterize(ExperimentRunner& runner, const std::string& workload) {
+  Characterization c;
+  c.name = workload;
+  {
+    const auto wl = workloads::make_workload(workload);
+    c.group = wl->group();
+    c.declared = wl->targets();
+  }
+  const SchemeParams& params = runner.config().scheme;
+
+  const RunMetrics& base = runner.baseline(workload);
+  c.rbl18_request_share = base.request_share_with_rbl(1, 8);
+  c.thrashing = classify_thrashing(c.rbl18_request_share);
+
+  // MTD: probe the Table III band edges (256, 1024) plus the 2048 max.
+  const auto ipc_at = [&](Cycle delay) {
+    const RunMetrics& m =
+        runner.run(workload, core::make_static_dms_spec(delay, params), false);
+    return m.ipc / base.ipc;
+  };
+  c.mtd = 0;
+  for (const Cycle delay : {Cycle{256}, Cycle{1024}, Cycle{2048}}) {
+    if (ipc_at(delay) >= 0.95)
+      c.mtd = delay;
+    else
+      break;
+  }
+  c.delay_tolerance = classify_delay_tolerance(c.mtd);
+
+  const RunMetrics& dms2048 =
+      runner.run(workload, core::make_static_dms_spec(2048, params), false);
+  c.act_reduction_2048 =
+      1.0 - static_cast<double>(dms2048.activations) / static_cast<double>(base.activations);
+  c.act_sensitivity = classify_act_sensitivity(c.act_reduction_2048);
+
+  // Th_RBL sensitivity: extra activation reduction of AMS(2) over AMS(8).
+  const RunMetrics& ams8 =
+      runner.run(workload, core::make_static_ams_spec(8, params), /*compute_error=*/true);
+  const RunMetrics& ams2 =
+      runner.run(workload, core::make_static_ams_spec(2, params), false);
+  c.th_extra_reduction =
+      (static_cast<double>(ams8.activations) - static_cast<double>(ams2.activations)) /
+      static_cast<double>(base.activations);
+  c.th_rbl_sensitive = classify_th_sensitivity(c.th_extra_reduction);
+
+  c.app_error = ams8.app_error;
+  c.coverage = ams8.coverage;
+  c.error_tolerance = classify_error_tolerance(c.app_error);
+  return c;
+}
+
+std::vector<Characterization> characterize_all(ExperimentRunner& runner) {
+  std::vector<Characterization> out;
+  for (const std::string& name : workloads::all_workload_names())
+    out.push_back(characterize(runner, name));
+  return out;
+}
+
+}  // namespace lazydram::sim

@@ -1,0 +1,50 @@
+// Table II / Table III reproduction: measure each application model's five
+// features and classify them with the paper's thresholds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace lazydram::sim {
+
+struct Characterization {
+  std::string name;
+  unsigned group = 0;
+
+  double rbl18_request_share = 0.0;  ///< % requests in RBL(1-8) rows.
+  workloads::Level thrashing = workloads::Level::kLow;
+
+  Cycle mtd = 0;  ///< Largest tested delay keeping IPC >= 95% of baseline.
+  workloads::Level delay_tolerance = workloads::Level::kLow;
+
+  double act_reduction_2048 = 0.0;  ///< Activation reduction at DMS(2048).
+  workloads::Level act_sensitivity = workloads::Level::kLow;
+
+  double th_extra_reduction = 0.0;  ///< Extra act. reduction, best Th vs Th=8.
+  bool th_rbl_sensitive = false;
+
+  double app_error = 0.0;  ///< Error under Static-AMS at the coverage cap.
+  double coverage = 0.0;   ///< Coverage actually reached by Static-AMS.
+  workloads::Level error_tolerance = workloads::Level::kLow;
+
+  workloads::FeatureTargets declared;  ///< The model's Table II targets.
+};
+
+// --- Table III threshold classifiers -------------------------------------
+
+workloads::Level classify_thrashing(double rbl18_share);          // 3% / 10%
+workloads::Level classify_delay_tolerance(Cycle mtd);             // 256 / 1024
+workloads::Level classify_act_sensitivity(double reduction);      // 10% / 20%
+bool classify_th_sensitivity(double extra_reduction);             // 5%
+workloads::Level classify_error_tolerance(double error);          // 20% / 5%
+
+/// Measures one workload (several cached simulations via `runner`).
+Characterization characterize(ExperimentRunner& runner, const std::string& workload);
+
+/// Measures every registered workload in Table II order.
+std::vector<Characterization> characterize_all(ExperimentRunner& runner);
+
+}  // namespace lazydram::sim

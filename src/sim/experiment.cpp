@@ -1,0 +1,60 @@
+#include "sim/experiment.hpp"
+
+#include "common/log.hpp"
+#include "workloads/registry.hpp"
+
+namespace lazydram::sim {
+
+ExperimentRunner::ExperimentRunner(GpuConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+std::string spec_key(const core::SchemeSpec& spec) {
+  std::string key = core::scheme_name(spec.kind);
+  if (spec.dms_enabled && !spec.dms_dynamic)
+    key += "/d" + std::to_string(spec.static_delay);
+  if (spec.ams_enabled && !spec.ams_dynamic)
+    key += "/t" + std::to_string(spec.static_th_rbl);
+  return key;
+}
+
+const RunMetrics& ExperimentRunner::run_keyed(const std::string& workload,
+                                              const RunConfig& config,
+                                              const std::string& key) {
+  const std::string cache_key = workload + "|" + key;
+  const auto it = cache_.find(cache_key);
+  if (it != cache_.end()) return it->second;
+
+  log_info("running %s", cache_key.c_str());
+  const auto wl = workloads::make_workload(workload);
+  RunMetrics metrics = simulate(*wl, config);
+  return cache_.emplace(cache_key, std::move(metrics)).first->second;
+}
+
+const RunMetrics& ExperimentRunner::run(const std::string& workload,
+                                        const core::SchemeSpec& spec,
+                                        bool compute_error) {
+  RunConfig config;
+  config.gpu = cfg_;
+  config.spec = spec;
+  config.compute_error = compute_error;
+  return run_keyed(workload, config, spec_key(spec) + (compute_error ? "" : "/noerr"));
+}
+
+const RunMetrics& ExperimentRunner::run_scheme(const std::string& workload,
+                                               core::SchemeKind kind,
+                                               bool compute_error) {
+  return run(workload, core::make_scheme_spec(kind, cfg_.scheme), compute_error);
+}
+
+const RunMetrics& ExperimentRunner::baseline(const std::string& workload) {
+  return run_scheme(workload, core::SchemeKind::kBaseline, /*compute_error=*/false);
+}
+
+const RunMetrics& ExperimentRunner::run_custom(const std::string& workload,
+                                               const RunConfig& config,
+                                               const std::string& key) {
+  return run_keyed(workload, config, key);
+}
+
+}  // namespace lazydram::sim

@@ -1,0 +1,51 @@
+// Memoizing experiment runner shared by the benches: each (workload, scheme,
+// config-variant) simulation runs once per process and is cached, so a bench
+// that prints several views of the same runs (e.g. Fig. 12a-d) pays for them
+// once.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+#include "core/scheme.hpp"
+#include "sim/simulator.hpp"
+
+namespace lazydram::sim {
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(GpuConfig cfg = GpuConfig{});
+
+  /// Runs `workload` under `spec` (cached). Application error is computed
+  /// for AMS-bearing schemes unless `compute_error` is false.
+  const RunMetrics& run(const std::string& workload, const core::SchemeSpec& spec,
+                        bool compute_error = true);
+
+  /// Runs one of the seven named paper schemes (cached).
+  const RunMetrics& run_scheme(const std::string& workload, core::SchemeKind kind,
+                               bool compute_error = true);
+
+  /// Baseline FR-FCFS run (cached).
+  const RunMetrics& baseline(const std::string& workload);
+
+  /// Fully custom run; `key` must uniquely identify the configuration.
+  const RunMetrics& run_custom(const std::string& workload, const RunConfig& config,
+                               const std::string& key);
+
+  const GpuConfig& config() const { return cfg_; }
+
+  std::size_t runs_executed() const { return cache_.size(); }
+
+ private:
+  const RunMetrics& run_keyed(const std::string& workload, const RunConfig& config,
+                              const std::string& key);
+
+  GpuConfig cfg_;
+  std::map<std::string, RunMetrics> cache_;
+};
+
+/// Cache key fragment describing a scheme spec (delay/threshold resolved).
+std::string spec_key(const core::SchemeSpec& spec);
+
+}  // namespace lazydram::sim

@@ -1,0 +1,91 @@
+#include "sim/metrics.hpp"
+
+namespace lazydram::sim {
+
+double RunMetrics::request_share_with_rbl(std::uint64_t lo, std::uint64_t hi) const {
+  const std::uint64_t accesses = dram_reads + dram_writes;
+  if (accesses == 0) return 0.0;
+  std::uint64_t served = 0;
+  for (std::uint64_t k = lo; k <= hi && k <= rbl_hist.max_key(); ++k)
+    served += k * rbl_hist.at(k);
+  return static_cast<double>(served) / static_cast<double>(accesses);
+}
+
+RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& workload,
+                           const std::string& scheme_name, bool compute_error) {
+  RunMetrics m;
+  m.workload = workload.name();
+  m.scheme = scheme_name;
+  m.finished = gpu.finished();
+  m.core_cycles = gpu.core_cycles();
+  m.mem_cycles = gpu.mem_cycles();
+  m.instructions = gpu.instructions();
+  m.ipc = gpu.ipc();
+
+  std::uint64_t bus_busy = 0;
+  double latency_weighted = 0.0;
+  std::uint64_t latency_count = 0;
+  std::uint64_t l2_hits = 0, l2_accesses = 0;
+  double delay_weight = 0.0, th_weight = 0.0;
+  unsigned lazy_channels = 0;
+
+  for (ChannelId ch = 0; ch < gpu.num_channels(); ++ch) {
+    const MemoryController& mc = gpu.controller(ch);
+    const dram::DramChannel& dc = mc.channel();
+
+    m.activations += dc.activations();
+    m.dram_reads += dc.energy().read_accesses();
+    m.dram_writes += dc.energy().write_accesses();
+    m.drops += mc.reads_dropped();
+    m.reads_received += mc.reads_received();
+    m.row_energy_nj += dc.energy().row_energy_nj();
+    m.access_energy_nj += dc.energy().access_energy_nj();
+    bus_busy += dc.bus_busy_cycles();
+
+    const Histogram& h = dc.rbl_histogram();
+    for (std::uint64_t k = 0; k <= h.max_key(); ++k) m.rbl_hist.add(k, h.at(k));
+    m.rbl_hist.add(h.max_key() + 1, h.overflow());
+    const Histogram& hr = dc.rbl_readonly_histogram();
+    for (std::uint64_t k = 0; k <= hr.max_key(); ++k) m.rbl_readonly_hist.add(k, hr.at(k));
+    m.rbl_readonly_hist.add(hr.max_key() + 1, hr.overflow());
+
+    latency_weighted += mc.read_latency().mean() * static_cast<double>(mc.read_latency().count());
+    latency_count += mc.read_latency().count();
+
+    l2_hits += gpu.l2(ch).hits();
+    l2_accesses += gpu.l2(ch).accesses();
+
+    if (const core::LazyScheduler* lazy = gpu.lazy(ch)) {
+      delay_weight += lazy->average_delay();
+      th_weight += lazy->average_th_rbl();
+      ++lazy_channels;
+    }
+  }
+
+  m.total_energy_nj = m.row_energy_nj + m.access_energy_nj;
+  const std::uint64_t accesses = m.dram_reads + m.dram_writes;
+  m.avg_rbl = m.activations == 0
+                  ? 0.0
+                  : static_cast<double>(accesses) / static_cast<double>(m.activations);
+  m.coverage = m.reads_received == 0
+                   ? 0.0
+                   : static_cast<double>(m.drops) / static_cast<double>(m.reads_received);
+  // BWUTIL is per-channel utilization; the numerator sums over channels.
+  m.bwutil = m.mem_cycles == 0 ? 0.0
+                               : static_cast<double>(bus_busy) /
+                                     (static_cast<double>(m.mem_cycles) * gpu.num_channels());
+  m.avg_read_latency_mem_cycles =
+      latency_count == 0 ? 0.0 : latency_weighted / static_cast<double>(latency_count);
+  m.l2_hit_rate =
+      l2_accesses == 0 ? 0.0 : static_cast<double>(l2_hits) / static_cast<double>(l2_accesses);
+  if (lazy_channels > 0) {
+    m.avg_delay = delay_weight / lazy_channels;
+    m.avg_th_rbl = th_weight / lazy_channels;
+  }
+
+  if (compute_error && !gpu.fmem().overlay().empty())
+    m.app_error = workload.application_error(gpu.fmem());
+  return m;
+}
+
+}  // namespace lazydram::sim

@@ -1,0 +1,63 @@
+// Run-level metrics: everything the paper's figures report, collected from a
+// finished GpuTop.
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "gpu/gpu_top.hpp"
+#include "workloads/workload.hpp"
+
+namespace lazydram::sim {
+
+struct RunMetrics {
+  std::string workload;
+  std::string scheme;
+  bool finished = false;
+
+  Cycle core_cycles = 0;
+  Cycle mem_cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+
+  // DRAM-side aggregates (summed over channels).
+  std::uint64_t activations = 0;
+  std::uint64_t dram_reads = 0;   ///< Column read accesses served.
+  std::uint64_t dram_writes = 0;  ///< Column write accesses served.
+  std::uint64_t drops = 0;        ///< AMS-dropped (VP-served) reads.
+  std::uint64_t reads_received = 0;
+
+  /// Avg-RBL = column accesses / activations (Section II-D; dropped requests
+  /// never reach a bank and are excluded, as in Fig. 8's arithmetic).
+  double avg_rbl = 0.0;
+
+  double row_energy_nj = 0.0;
+  double access_energy_nj = 0.0;
+  double total_energy_nj = 0.0;
+
+  double coverage = 0.0;   ///< drops / global reads received.
+  double app_error = 0.0;  ///< Average relative output error.
+
+  double avg_delay = 0.0;   ///< Time-weighted DMS delay (0 without DMS).
+  double avg_th_rbl = 0.0;  ///< Time-weighted Th_RBL (0 without AMS).
+  double bwutil = 0.0;      ///< Data-bus busy cycles / memory cycles.
+
+  double l2_hit_rate = 0.0;
+  double avg_read_latency_mem_cycles = 0.0;
+
+  Histogram rbl_hist{64};           ///< Activation count per achieved RBL.
+  Histogram rbl_readonly_hist{64};  ///< Same, rows that served only reads.
+
+  /// Requests served by activations of RBL in [lo, hi] divided by all
+  /// column accesses (Table III's "thrashing level" numerator uses [1, 8]).
+  double request_share_with_rbl(std::uint64_t lo, std::uint64_t hi) const;
+};
+
+/// Gathers metrics from a finished run. Application error is computed only
+/// when requested AND at least one line was approximated (it requires two
+/// functional executions of the workload).
+RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& workload,
+                           const std::string& scheme_name, bool compute_error);
+
+}  // namespace lazydram::sim

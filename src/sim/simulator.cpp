@@ -1,0 +1,51 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+#include "gpu/gpu_top.hpp"
+#include "mem/fcfs.hpp"
+#include "mem/frfcfs.hpp"
+
+namespace lazydram::sim {
+
+RunMetrics simulate(const workloads::Workload& workload, const RunConfig& config) {
+  const GpuConfig& cfg = config.gpu;
+
+  gpu::GpuTop::SchedulerFactory factory;
+  std::string label = config.scheme_label;
+  switch (config.policy) {
+    case PolicyKind::kLazy:
+      factory = [&](ChannelId) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<core::LazyScheduler>(cfg.scheme, config.spec,
+                                                     cfg.banks_per_channel);
+      };
+      if (label.empty()) label = core::scheme_name(config.spec.kind);
+      break;
+    case PolicyKind::kFrFcfs:
+      factory = [](ChannelId) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<FrFcfsScheduler>();
+      };
+      if (label.empty()) label = "FR-FCFS";
+      break;
+    case PolicyKind::kFcfs:
+      factory = [](ChannelId) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<FcfsScheduler>();
+      };
+      if (label.empty()) label = "FCFS";
+      break;
+  }
+
+  gpu::GpuTop top(cfg, workload, factory, config.row_policy);
+  const bool finished = top.run(config.max_core_cycles);
+  LD_ASSERT_MSG(finished, "simulation hit max_core_cycles before completing");
+  return collect_metrics(top, workload, label, config.compute_error);
+}
+
+RunMetrics simulate_scheme(const workloads::Workload& workload, core::SchemeKind kind,
+                           const GpuConfig& gpu) {
+  RunConfig config;
+  config.gpu = gpu;
+  config.spec = core::make_scheme_spec(kind, gpu.scheme);
+  return simulate(workload, config);
+}
+
+}  // namespace lazydram::sim

@@ -1,0 +1,39 @@
+// One-call simulation entry points: build a GPU around a workload and a
+// scheduling scheme, run to completion, collect metrics.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "core/scheme.hpp"
+#include "mem/controller.hpp"
+#include "sim/metrics.hpp"
+#include "workloads/workload.hpp"
+
+namespace lazydram::sim {
+
+/// Which scheduler runs in each memory controller.
+enum class PolicyKind {
+  kLazy,    ///< core::LazyScheduler configured by a SchemeSpec (the default).
+  kFrFcfs,  ///< Plain FR-FCFS (identical to kLazy with everything disabled).
+  kFcfs,    ///< In-order FCFS (ablation baseline).
+};
+
+struct RunConfig {
+  GpuConfig gpu{};                       ///< Table I defaults.
+  core::SchemeSpec spec{};               ///< Used when policy == kLazy.
+  PolicyKind policy = PolicyKind::kLazy;
+  RowPolicy row_policy = RowPolicy::kOpenRow;
+  bool compute_error = true;
+  Cycle max_core_cycles = 200'000'000;
+  std::string scheme_label;  ///< Defaults to the spec's scheme name.
+};
+
+/// Runs `workload` under `config` to completion and returns the metrics.
+RunMetrics simulate(const workloads::Workload& workload, const RunConfig& config);
+
+/// Convenience: run one of the seven paper schemes with default config.
+RunMetrics simulate_scheme(const workloads::Workload& workload, core::SchemeKind kind,
+                           const GpuConfig& gpu = GpuConfig{});
+
+}  // namespace lazydram::sim

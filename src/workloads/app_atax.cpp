@@ -1,0 +1,124 @@
+// ATAX — y = A^T * (A * x) (Polybench).
+//
+// Table II classification: Group 4; High thrashing, Medium delay tolerance,
+// High activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+//
+// Model: phase 1 streams A row i in 8-line tiles to form tmp[i] = A[i].x;
+// phase 2 walks column i of A with a 3KB pitch to accumulate
+// y[i] = sum_k A[k][i]*tmp[k] — adjacent warps' columns are row mates that
+// arrive skewed (High activation sensitivity). Hash-random data makes value
+// prediction destructive (Low error tolerance -> Group 4: AMS is not
+// applied in the paper's evaluation; DMS alone still helps).
+#include "workloads/apps.hpp"
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kN = 768;
+constexpr unsigned kColStride = 2;
+constexpr unsigned kColSamples = kN / kColStride;
+
+constexpr Addr kA = MiB(16);
+constexpr Addr kX = MiB(48);
+constexpr Addr kTmp = MiB(50);
+constexpr Addr kY = MiB(54);
+
+class AtaxWorkload final : public Workload {
+ public:
+  std::string name() const override { return "ATAX"; }
+  std::string description() const override {
+    return "Matrix transpose & vector multiplication A^T(Ax) (Polybench)";
+  }
+  unsigned group() const override { return 4; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kMedium,
+            .activation_sensitivity = Level::kHigh,
+            .th_rbl_sensitive = false,
+            .error_tolerance = Level::kLow};
+  }
+
+  unsigned num_warps() const override { return kN; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    // Phase 1: 3 x (8-line A row tile + compute) + tmp store.
+    // Phase 2: kColSamples x (column line + compute) + y store.
+    constexpr unsigned kRowSteps = 6;
+    constexpr unsigned kColSteps = kColSamples * 2;
+    constexpr unsigned kTotal = kRowSteps + 1 + kColSteps + 1;
+    constexpr unsigned kPasses = 2;  // Normal-equations refinement sweeps.
+    if (step >= kPasses * kTotal) return false;
+    step %= kTotal;
+
+    const unsigned i = warp;
+
+    if (step < kRowSteps) {
+      const unsigned third = step / 2;
+      if (step % 2 == 0) {
+        op = wide_load(f32_addr(kA, static_cast<std::uint64_t>(i) * kN + third * 256), 8,
+                       /*approximable=*/true);
+        return true;
+      }
+      op = gpu::WarpOp::compute(6);
+      return true;
+    }
+    if (step == kRowSteps) {
+      op = gpu::WarpOp::store_line(f32_line(kTmp, i));
+      return true;
+    }
+
+    const unsigned s = step - kRowSteps - 1;
+    if (s < kColSteps) {
+      if (s % 2 == 0) {
+        const unsigned k = (s / 2) * kColStride;
+        op = gpu::WarpOp::load_line(
+            f32_line(kA, static_cast<std::uint64_t>(k) * kN + i), /*approximable=*/true);
+        return true;
+      }
+      op = gpu::WarpOp::compute(4);
+      return true;
+    }
+    op = gpu::WarpOp::store_line(f32_line(kY, i));
+    return true;
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    fill_hash_random(image, kA, static_cast<std::uint64_t>(kN) * kN, 0xA7A, -1.0, 1.0);
+    fill_hash_random(image, kX, kN, 0x0A7, -1.0, 1.0);
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    for (unsigned i = 0; i < kN; ++i) {
+      double t = 0.0;
+      for (unsigned k = 0; k < kN; ++k)
+        t += static_cast<double>(
+                 view.read_f32(f32_addr(kA, static_cast<std::uint64_t>(i) * kN + k))) *
+             view.read_f32(f32_addr(kX, k));
+      view.write_f32(f32_addr(kTmp, i), static_cast<float>(t));
+    }
+    for (unsigned i = 0; i < kN; ++i) {
+      double y = 0.0;
+      for (unsigned k = 0; k < kN; ++k)
+        y += static_cast<double>(
+                 view.read_f32(f32_addr(kA, static_cast<std::uint64_t>(k) * kN + i))) *
+             view.read_f32(f32_addr(kTmp, k));
+      view.write_f32(f32_addr(kY, i), static_cast<float>(y));
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override { return {{kY, kN * 4ull}}; }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kA, static_cast<std::uint64_t>(kN) * kN * 4}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_atax() { return std::make_unique<AtaxWorkload>(); }
+
+}  // namespace lazydram::workloads

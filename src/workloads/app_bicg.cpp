@@ -1,0 +1,150 @@
+// BICG — the BiCG kernel of the BiCGStab solver: s = A^T*r, q = A*p
+// (Polybench).
+//
+// Table II classification: Group 1; High thrashing, LOW delay tolerance,
+// High activation sensitivity, High Th_RBL sensitivity, Medium error
+// tolerance.
+//
+// Model: like the other Polybench matrix kernels, warp i streams row i (for
+// q) and column-walks column i (for s), but with almost no compute between
+// accesses — the memory bus runs saturated and every added cycle of delay
+// stretches the dependent chain (Low delay tolerance). A scattered
+// preconditioner-diagonal lookup adds a >10% RBL(1) tail, which is what
+// Dyn-AMS's lower Th_RBL monetizes (High Th_RBL sensitivity). Mildly varying
+// data keeps the app in the Medium error band.
+#include "workloads/apps.hpp"
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kN = 768;
+constexpr unsigned kColStride = 3;
+constexpr unsigned kColSamples = kN / kColStride;
+
+constexpr Addr kA = MiB(16);
+constexpr Addr kP = MiB(48);
+constexpr Addr kR = MiB(49);
+constexpr Addr kDiag = MiB(64);  // Scattered preconditioner diagonal (2MB).
+constexpr std::uint64_t kDiagElems = 1u << 19;
+constexpr Addr kS = MiB(80);
+constexpr Addr kQ = MiB(84);
+
+class BicgWorkload final : public Workload {
+ public:
+  std::string name() const override { return "BICG"; }
+  std::string description() const override {
+    return "BiCG kernel of BiCGStab linear solver (Polybench)";
+  }
+  unsigned group() const override { return 1; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kLow,
+            .activation_sensitivity = Level::kHigh,
+            .th_rbl_sensitive = true,
+            .error_tolerance = Level::kMedium};
+  }
+
+  unsigned num_warps() const override { return kN; }
+
+  static std::uint64_t diag_index(unsigned warp, unsigned slot) {
+    return mix64((static_cast<std::uint64_t>(warp) << 18) | slot) % kDiagElems;
+  }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    // Row pass: 3 x (8-line tile + scattered diag line + compute).
+    // Column pass: kColSamples x (column line, every 4th also a diag line).
+    constexpr unsigned kRowSteps = 9;
+    constexpr unsigned kColSteps = kColSamples * 2;
+    constexpr unsigned kTotal = kRowSteps + kColSteps + 2;
+    if (step >= kTotal) return false;
+
+    const unsigned i = warp;
+
+    if (step < kRowSteps) {
+      const unsigned third = step / 3;
+      switch (step % 3) {
+        case 0:
+          op = wide_load(f32_addr(kA, static_cast<std::uint64_t>(i) * kN + third * 256),
+                         8, /*approximable=*/true);
+          return true;
+        case 1:  // Scattered diagonal lookup: the RBL(1) tail.
+          op = gpu::WarpOp::load_line(f32_line(kDiag, diag_index(i, third)),
+                                      /*approximable=*/true);
+          return true;
+        default:
+          op = gpu::WarpOp::compute(2);
+          return true;
+      }
+    }
+
+    const unsigned s = step - kRowSteps;
+    if (s < kColSteps) {
+      if (s % 2 == 0) {
+        const unsigned k = (s / 2) * kColStride;
+        op = gpu::WarpOp::load_line(
+            f32_line(kA, static_cast<std::uint64_t>(k) * kN + i), /*approximable=*/true);
+        return true;
+      }
+      if (s % 8 == 1) {  // Every 4th sample: one more scattered diag line.
+        op = gpu::WarpOp::load_line(f32_line(kDiag, diag_index(i, 64 + s / 8)),
+                                    /*approximable=*/true);
+        return true;
+      }
+      op = gpu::WarpOp::compute(2);
+      return true;
+    }
+
+    if (step == kTotal - 2) {
+      op = gpu::WarpOp::store_line(f32_line(kQ, i));
+      return true;
+    }
+    op = gpu::WarpOp::store_line(f32_line(kS, i));
+    return true;
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    fill_smooth(image, kA, static_cast<std::uint64_t>(kN) * kN, 0.8, 97.0, 1.6);
+    fill_smooth(image, kP, kN, 0.4, 13.0, 1.0);
+    fill_smooth(image, kR, kN, 0.4, 19.0, 1.1);
+    fill_smooth(image, kDiag, kDiagElems, 0.25, 1543.0, 1.0);
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    for (unsigned i = 0; i < kN; ++i) {
+      double q = 0.0, sv = 0.0;
+      for (unsigned k = 0; k < kN; ++k) {
+        q += static_cast<double>(
+                 view.read_f32(f32_addr(kA, static_cast<std::uint64_t>(i) * kN + k))) *
+             view.read_f32(f32_addr(kP, k));
+        sv += static_cast<double>(
+                  view.read_f32(f32_addr(kA, static_cast<std::uint64_t>(k) * kN + i))) *
+              view.read_f32(f32_addr(kR, k));
+      }
+      // Preconditioner diagonal scaling, averaged over the warp's lookups.
+      double d = 0.0;
+      for (unsigned slot = 0; slot < 3; ++slot)
+        d += view.read_f32(f32_addr(kDiag, diag_index(i, slot)));
+      d /= 3.0;
+      view.write_f32(f32_addr(kQ, i), static_cast<float>(q * d));
+      view.write_f32(f32_addr(kS, i), static_cast<float>(sv * d));
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kS, kN * 4ull}, {kQ, kN * 4ull}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kA, static_cast<std::uint64_t>(kN) * kN * 4}, {kDiag, kDiagElems * 4}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bicg() { return std::make_unique<BicgWorkload>(); }
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,120 @@
+// CONS — 1D convolution (Polybench).
+//
+// Table II classification: Group 4; High thrashing, Medium delay tolerance,
+// High activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+//
+// Model: warp w convolves its 8-line input segment: one 8-line tile plus a
+// one-line halo per side (one multi-transaction op), a kernel-coefficient
+// line (L2-resident), a compute burst, and an output store. Segments are
+// processed in a strided order so neighbouring segments of the same DRAM
+// row come from warps that run skewed in time — delayed locality (High
+// activation sensitivity) — while all traffic sits in RBL(2-8) rows (Low
+// Th_RBL sensitivity). Hash-random samples make the convolution output
+// unforgiving to approximation (Low error tolerance).
+#include "workloads/apps.hpp"
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kWarps = 1280;
+constexpr unsigned kSegLines = 8;
+constexpr unsigned kSegsPerWarp = 12;
+constexpr std::uint64_t kSegments = static_cast<std::uint64_t>(kWarps) * kSegsPerWarp;
+
+constexpr Addr kIn = MiB(16);
+constexpr Addr kKernel = MiB(512);
+constexpr Addr kOut = MiB(640);
+constexpr unsigned kTaps = 9;
+
+/// Strided segment order: warp w's t-th segment is far from warp w+1's.
+constexpr std::uint64_t segment_of(unsigned warp, unsigned t) {
+  return (static_cast<std::uint64_t>(t) * kWarps + warp * 7) % kSegments;
+}
+
+class ConsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "CONS"; }
+  std::string description() const override { return "1D convolution (Polybench)"; }
+  unsigned group() const override { return 4; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kMedium,
+            .activation_sensitivity = Level::kHigh,
+            .th_rbl_sensitive = false,
+            .error_tolerance = Level::kLow};
+  }
+
+  unsigned num_warps() const override { return kWarps; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    constexpr unsigned kStepsPerSeg = 4;
+    constexpr unsigned kTotal = kSegsPerWarp * kStepsPerSeg;
+    if (step >= kTotal) return false;
+
+    const unsigned t = step / kStepsPerSeg;
+    const std::uint64_t seg = segment_of(warp, t);
+    const Addr seg_base = kIn + seg * kSegLines * kLineBytes;
+
+    switch (step % kStepsPerSeg) {
+      case 0: {
+        // Segment tile with one-line halo on each side (10 transactions).
+        const Addr halo_base = seg_base >= kIn + kLineBytes ? seg_base - kLineBytes : seg_base;
+        op = wide_load(halo_base, kSegLines + 2, /*approximable=*/true);
+        return true;
+      }
+      case 1:  // Filter taps: one line, L2-resident after warm-up.
+        op = gpu::WarpOp::load_line(kKernel, /*approximable=*/false);
+        return true;
+      case 2:
+        op = gpu::WarpOp::compute(12);
+        return true;
+      default:
+        op = wide_store(kOut + seg * kSegLines * kLineBytes, kSegLines);
+        return true;
+    }
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    // Only a window of the input participates in the functional model (the
+    // timed run touches the full strided range; values default to zero
+    // beyond the window, which is harmless for timing).
+    fill_hash_random(image, kIn, kFuncElems, 0xC0, -2.0, 2.0);
+    for (unsigned t = 0; t < kTaps; ++t)
+      image.write_f32(f32_addr(kKernel, t), 1.0f / (1 + static_cast<int>(t)));
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    for (std::uint64_t i = 0; i < kFuncElems; ++i) {
+      double acc = 0.0;
+      for (unsigned t = 0; t < kTaps; ++t) {
+        const std::uint64_t j = i + t >= kTaps / 2 ? i + t - kTaps / 2 : 0;
+        if (j >= kFuncElems) continue;
+        acc += static_cast<double>(view.read_f32(f32_addr(kIn, j))) *
+               view.read_f32(f32_addr(kKernel, t));
+      }
+      view.write_f32(f32_addr(kOut, i), static_cast<float>(acc));
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kOut, kFuncElems * 4}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kIn, kSegments * kSegLines * kLineBytes}};
+  }
+
+ private:
+  /// Elements covered by the functional model (first 512K floats = 2MB).
+  static constexpr std::uint64_t kFuncElems = 1u << 19;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cons() { return std::make_unique<ConsWorkload>(); }
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,122 @@
+// GEMM — dense matrix multiplication C = A x B (Polybench).
+//
+// Table II classification: Group 4; High thrashing, Low delay tolerance,
+// Medium activation sensitivity, High Th_RBL sensitivity, Low error
+// tolerance. Fig. 6(a): ~10% of read requests (RBL 1-2) cause ~65% of the
+// row activations.
+//
+// Model: warp w computes C row i = w / 32, column block jb = w % 32. Per
+// k-step it loads one B line (the 4KB-pitch *column walk* — the low-RBL
+// request class; same-k lines of adjacent jb warps are row mates), every 32
+// k-steps a 4-line tile of A row i (shared by the 32 jb warps of row i:
+// mostly L2 hits), and a short FMA burst (memory-bound: Low delay
+// tolerance). Inputs are hash-random, so value prediction errs heavily: Low
+// error tolerance.
+#include "workloads/apps.hpp"
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kM = 64;    // C rows.
+constexpr unsigned kN = 512;   // C columns (16 blocks of 32).
+constexpr unsigned kK = 512;   // Inner dimension.
+constexpr unsigned kJBlocks = kN / 32;
+
+constexpr Addr kA = MiB(16);   // kM x kK f32.
+constexpr Addr kB = MiB(64);   // kK x kN f32 (2MB: exceeds the 768KB L2).
+constexpr Addr kC = MiB(128);  // kM x kN f32.
+
+constexpr std::uint16_t kFmaCycles = 3;
+
+class GemmWorkload final : public Workload {
+ public:
+  std::string name() const override { return "GEMM"; }
+  std::string description() const override { return "Matrix multiplication (Polybench)"; }
+  unsigned group() const override { return 4; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kLow,
+            .activation_sensitivity = Level::kMedium,
+            .th_rbl_sensitive = true,
+            .error_tolerance = Level::kLow};
+  }
+
+  unsigned num_warps() const override { return kM * kJBlocks; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    const unsigned jb = warp % kJBlocks;
+    const unsigned i = warp / kJBlocks;
+
+    constexpr unsigned kStepsPerK = 3;
+    constexpr unsigned kTotal = kK * kStepsPerK + 1;
+    if (step >= kTotal) return false;
+
+    if (step == kTotal - 1) {  // Store the 32-float C slice (one line).
+      op = gpu::WarpOp::store_line(f32_line(kC, static_cast<std::uint64_t>(i) * kN + 32 * jb));
+      return true;
+    }
+
+    // Staggered k-start per row: warps sharing a jb strip sweep B out of
+    // phase, so B lines are not L2-coalesced across the cohort and the
+    // column walk hits DRAM (the paper's GEMM row-thrashing profile).
+    const unsigned k = (step / kStepsPerK + i * 37) % kK;
+    switch (step % kStepsPerK) {
+      case 0:
+        if (k % 128 == 0) {
+          // A row tile: 128 consecutive floats (4 lines), shared by the 32
+          // jb-warps of row i — L2-resident for most of them.
+          op = wide_load(f32_addr(kA, static_cast<std::uint64_t>(i) * kK + k), 4,
+                         /*approximable=*/false);
+        } else {
+          op = gpu::WarpOp::compute(1);
+        }
+        return true;
+      case 1:  // B[k][32*jb .. +31]: the 4KB-pitch column walk.
+        op = gpu::WarpOp::load_line(
+            f32_line(kB, static_cast<std::uint64_t>(k) * kN + 32 * jb),
+            /*approximable=*/true);
+        return true;
+      default:
+        op = gpu::WarpOp::compute(kFmaCycles);
+        return true;
+    }
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    fill_hash_random(image, kA, static_cast<std::uint64_t>(kM) * kK, 0xA, -1.0, 1.0);
+    fill_hash_random(image, kB, static_cast<std::uint64_t>(kK) * kN, 0xB, -1.0, 1.0);
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    for (unsigned i = 0; i < kM; ++i) {
+      for (unsigned j = 0; j < kN; ++j) {
+        double acc = 0.0;
+        for (unsigned k = 0; k < kK; ++k) {
+          const float a = view.read_f32(f32_addr(kA, static_cast<std::uint64_t>(i) * kK + k));
+          const float b = view.read_f32(f32_addr(kB, static_cast<std::uint64_t>(k) * kN + j));
+          acc += static_cast<double>(a) * static_cast<double>(b);
+        }
+        view.write_f32(f32_addr(kC, static_cast<std::uint64_t>(i) * kN + j),
+                       static_cast<float>(acc));
+      }
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kC, static_cast<std::uint64_t>(kM) * kN * 4}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kB, static_cast<std::uint64_t>(kK) * kN * 4}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_gemm() { return std::make_unique<GemmWorkload>(); }
+
+}  // namespace lazydram::workloads

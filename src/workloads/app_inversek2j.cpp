@@ -1,0 +1,139 @@
+// inversek2j — inverse kinematics for a 2-joint arm (AxBench).
+//
+// Table II classification: Group 3; High thrashing, High delay tolerance,
+// High activation sensitivity, Low Th_RBL sensitivity, High error tolerance.
+//
+// Model: each warp converts a batch of scattered (x, y) end-effector
+// coordinates into joint angles. The coordinate fetches are annotated
+// approximable, but the two per-batch trigonometry-table lookups are not
+// (table indices act like pointers), and together with the non-annotated
+// share they hold the reachable prediction coverage below 10% (Group 3).
+// The per-batch arccos/atan2 compute burst is long (High delay tolerance);
+// scattered coordinate rows have skewed-arriving mates from other warps
+// (High activation sensitivity). Joint angles vary smoothly with target
+// coordinates over a smooth field (High error tolerance).
+#include "workloads/apps.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kWarps = 1400;
+constexpr unsigned kBatches = 28;
+
+constexpr Addr kXY = MiB(16);      // Target coordinates (4MB, annotated).
+constexpr std::uint64_t kXYElems = 1u << 20;
+constexpr Addr kTrig = MiB(64);    // Trig lookup table (3MB, not annotated).
+constexpr std::uint64_t kTrigLines = MiB(3) / kLineBytes;
+constexpr Addr kAngles = MiB(96);
+
+constexpr double kL1 = 0.5, kL2 = 0.5;  // Arm segment lengths.
+
+std::uint64_t coord_index(unsigned warp, unsigned batch) {
+  return mix64((static_cast<std::uint64_t>(warp) << 10) | batch) % (kXYElems - 64);
+}
+
+std::uint64_t trig_line(unsigned warp, unsigned batch, unsigned probe) {
+  return mix64(0x1717 + ((static_cast<std::uint64_t>(warp) << 12) | (batch << 2) | probe)) %
+         kTrigLines;
+}
+
+class InverseK2jWorkload final : public Workload {
+ public:
+  std::string name() const override { return "inversek2j"; }
+  std::string description() const override {
+    return "Inverse kinematics for 2-joint arm (AxBench)";
+  }
+  unsigned group() const override { return 3; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kHigh,
+            .activation_sensitivity = Level::kHigh,
+            .th_rbl_sensitive = false,
+            .error_tolerance = Level::kHigh};
+  }
+
+  unsigned num_warps() const override { return kWarps; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    // Per batch: coordinate pair load (2 lines), two trig-table probes,
+    // kinematics compute, angle store.
+    constexpr unsigned kStepsPerBatch = 5;
+    constexpr unsigned kTotal = kBatches * kStepsPerBatch;
+    if (step >= kTotal) return false;
+
+    const unsigned batch = step / kStepsPerBatch;
+    const unsigned phase = step % kStepsPerBatch;
+
+    switch (phase) {
+      case 0:
+        // Only every third batch reads from the annotated target buffer;
+        // the rest read freshly produced (unannotated) targets. This keeps
+        // the reachable prediction coverage below the 10% target (Group 3).
+        op = wide_load(f32_line(kXY, coord_index(warp, batch)), 2,
+                       /*approximable=*/batch % 3 == 0);
+        return true;
+      case 1:
+      case 2:  // Trig table probes: index-driven, never approximated.
+        op = gpu::WarpOp::load_line(kTrig + trig_line(warp, batch, phase) * kLineBytes,
+                                    /*approximable=*/false);
+        return true;
+      case 3:  // arccos/atan2 chain.
+        op = gpu::WarpOp::compute(48);
+        return true;
+      default:
+        op = gpu::WarpOp::store_line(
+            f32_line(kAngles, (static_cast<std::uint64_t>(warp) * kBatches + batch) * 32));
+        return true;
+    }
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    // Smooth reachable targets: radius in (0.2, 0.95), angle smooth.
+    for (std::uint64_t i = 0; i < kXYElems / 2; ++i) {
+      const double r = 0.575 + 0.2 * std::sin(i * 2e-5);
+      const double phi = 1.5 + 0.8 * std::sin(i * 1e-5);
+      image.write_f32(f32_addr(kXY, 2 * i), static_cast<float>(r * std::cos(phi)));
+      image.write_f32(f32_addr(kXY, 2 * i + 1), static_cast<float>(r * std::sin(phi)));
+    }
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    for (std::uint64_t i = 0; i < kFuncPairs; ++i) {
+      const double x = view.read_f32(f32_addr(kXY, 2 * i));
+      const double y = view.read_f32(f32_addr(kXY, 2 * i + 1));
+      const double d2 = x * x + y * y;
+      double c2 = (d2 - kL1 * kL1 - kL2 * kL2) / (2 * kL1 * kL2);
+      c2 = std::max(-1.0, std::min(1.0, c2));
+      const double theta2 = std::acos(c2);
+      const double theta1 =
+          std::atan2(y, x) - std::atan2(kL2 * std::sin(theta2), kL1 + kL2 * c2);
+      view.write_f32(f32_addr(kAngles, 2 * i), static_cast<float>(theta1));
+      view.write_f32(f32_addr(kAngles, 2 * i + 1), static_cast<float>(theta2));
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kAngles, kFuncPairs * 2 * 4}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kXY, kXYElems * 4}};
+  }
+
+ private:
+  static constexpr std::uint64_t kFuncPairs = 1u << 17;  // 128K targets.
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_inversek2j() {
+  return std::make_unique<InverseK2jWorkload>();
+}
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,127 @@
+// jmein — triangle intersection detection (AxBench jmeint).
+//
+// Table II classification: Group 2; High thrashing, Medium delay tolerance,
+// High activation sensitivity, Low Th_RBL sensitivity, Medium error
+// tolerance.
+//
+// Model: each warp tests pairs of triangles. Per test it loads the two
+// triangles' vertex data (2- and 2-line tiles from scattered positions in
+// the vertex pool — annotated approximable) and runs the separating-axis
+// compute. Scattered vertex rows receive other warps' fetches skewed in
+// time (High activation sensitivity); nearly all traffic sits in RBL(2-4)
+// rows because each triangle occupies two adjacent lines (Low Th_RBL
+// sensitivity). The intersection decision is a thresholded continuous
+// quantity over moderately smooth geometry: Medium error tolerance.
+#include "workloads/apps.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kWarps = 1280;
+constexpr unsigned kTests = 36;
+
+constexpr Addr kVerts = MiB(16);  // Vertex pool (6MB, annotated).
+constexpr std::uint64_t kVertLines = MiB(6) / kLineBytes;
+constexpr Addr kResult = MiB(96);
+
+std::uint64_t tri_line(unsigned warp, unsigned test, unsigned which) {
+  return mix64((static_cast<std::uint64_t>(warp) << 14) | (test << 1) | which) %
+         (kVertLines - 2);
+}
+
+class JmeinWorkload final : public Workload {
+ public:
+  std::string name() const override { return "jmein"; }
+  std::string description() const override {
+    return "Triangle intersection detection (AxBench jmeint)";
+  }
+  unsigned group() const override { return 2; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kMedium,
+            .activation_sensitivity = Level::kHigh,
+            .th_rbl_sensitive = false,
+            .error_tolerance = Level::kMedium};
+  }
+
+  unsigned num_warps() const override { return kWarps; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    // Per test: triangle A (2 lines), triangle B (2 lines), compute, and a
+    // result store every 8 tests.
+    constexpr unsigned kStepsPerTest = 4;
+    constexpr unsigned kTotal = kTests * kStepsPerTest;
+    if (step >= kTotal) return false;
+
+    const unsigned test = step / kStepsPerTest;
+    const unsigned phase = step % kStepsPerTest;
+
+    switch (phase) {
+      case 0:
+        op = wide_load(kVerts + tri_line(warp, test, 0) * kLineBytes, 2,
+                       /*approximable=*/true);
+        return true;
+      case 1:
+        op = wide_load(kVerts + tri_line(warp, test, 1) * kLineBytes, 2,
+                       /*approximable=*/true);
+        return true;
+      case 2:  // Separating-axis tests.
+        op = gpu::WarpOp::compute(18);
+        return true;
+      default:
+        if (test % 8 == 7) {
+          op = gpu::WarpOp::store_line(
+              kResult + (static_cast<Addr>(warp) * (kTests / 8) + test / 8) * kLineBytes);
+        } else {
+          op = gpu::WarpOp::compute(2);
+        }
+        return true;
+    }
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    // Vertex coordinates: smooth spatial layout (a tessellated surface).
+    fill_smooth(image, kVerts, MiB(6) / 4, 1.5, 9.0, 3.0);
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    // Soft intersection margin per test: distance between the two
+    // triangles' centroid proxies minus a size term.
+    for (unsigned w = 0; w < kFuncWarps; ++w) {
+      for (unsigned t = 0; t < kTests; ++t) {
+        const std::uint64_t la = tri_line(w, t, 0), lb = tri_line(w, t, 1);
+        double ca = 0.0, cb = 0.0;
+        for (unsigned e = 0; e < 9; ++e) {
+          ca += view.read_f32(kVerts + la * kLineBytes + 4 * e);
+          cb += view.read_f32(kVerts + lb * kLineBytes + 4 * e);
+        }
+        const double margin = 0.2 * (ca + cb) / 9.0 + (ca - cb) / 9.0;
+        view.write_f32(f32_addr(kResult, static_cast<std::uint64_t>(w) * kTests + t),
+                       static_cast<float>(margin));
+      }
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kResult, static_cast<std::uint64_t>(kFuncWarps) * kTests * 4}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kVerts, MiB(6)}};
+  }
+
+ private:
+  static constexpr unsigned kFuncWarps = 512;  // Functional-model sample.
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_jmein() { return std::make_unique<JmeinWorkload>(); }
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,119 @@
+// newtonraph — Newton-Raphson equation solver (AxBench).
+//
+// Table II classification: Group 4; High thrashing, HIGH delay tolerance,
+// High activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+//
+// Model: each warp solves f(x) = x^3 + a*x + b = 0 for a tile of (a, b)
+// coefficient pairs drawn from scattered table rows, then iterates Newton
+// steps — a heavy compute burst per load that leaves the memory bus lightly
+// loaded (HIGH delay tolerance: thousands of compute cycles hide even large
+// delays). The scattered coefficient fetches are the delayed-locality
+// traffic (High activation sensitivity). Roots respond non-linearly to
+// coefficient perturbations over hash-random inputs (Low error tolerance).
+#include "workloads/apps.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kWarps = 1408;
+constexpr unsigned kTilesPerWarp = 24;
+constexpr unsigned kNewtonIters = 6;
+
+constexpr Addr kCoefA = MiB(16);  // 4MB coefficient tables.
+constexpr Addr kCoefB = MiB(64);
+constexpr Addr kRoot = MiB(128);
+constexpr std::uint64_t kElems = 1u << 20;
+constexpr std::uint64_t kLinesTotal = kElems / kF32PerLine;  // 32768 lines.
+
+/// Scattered tile base for (warp, tile): spreads work over the whole table.
+std::uint64_t tile_line(unsigned warp, unsigned tile) {
+  return mix64((static_cast<std::uint64_t>(warp) << 8) | tile) % (kLinesTotal - 2);
+}
+
+class NewtonWorkload final : public Workload {
+ public:
+  std::string name() const override { return "newtonraph"; }
+  std::string description() const override {
+    return "Newton-Raphson equation solver (AxBench)";
+  }
+  unsigned group() const override { return 4; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kHigh,
+            .delay_tolerance = Level::kHigh,
+            .activation_sensitivity = Level::kHigh,
+            .th_rbl_sensitive = false,
+            .error_tolerance = Level::kLow};
+  }
+
+  unsigned num_warps() const override { return kWarps; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    // Per tile: a-pair load (2 lines), b-pair load (2 lines), then
+    // kNewtonIters compute bursts, then the root store.
+    constexpr unsigned kStepsPerTile = 2 + kNewtonIters + 1;
+    constexpr unsigned kTotal = kTilesPerWarp * kStepsPerTile;
+    if (step >= kTotal) return false;
+
+    const unsigned tile = step / kStepsPerTile;
+    const unsigned phase = step % kStepsPerTile;
+    const std::uint64_t line = tile_line(warp, tile);
+
+    if (phase == 0) {
+      op = wide_load(kCoefA + line * kLineBytes, 2, /*approximable=*/true);
+      return true;
+    }
+    if (phase == 1) {
+      op = wide_load(kCoefB + line * kLineBytes, 2, /*approximable=*/true);
+      return true;
+    }
+    if (phase < 2 + kNewtonIters) {
+      op = gpu::WarpOp::compute(60);  // One Newton step (div + polynomial).
+      return true;
+    }
+    op = gpu::WarpOp::store_line(kRoot + line * kLineBytes);
+    return true;
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    fill_hash_random(image, kCoefA, kElems, 0x4E, -3.0, 3.0);
+    fill_hash_random(image, kCoefB, kElems, 0x4F, -2.0, 2.0);
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    // Newton iterations on x^3 + a x + b from x0 = 1.
+    for (std::uint64_t i = 0; i < kFuncElems; ++i) {
+      const double a = view.read_f32(f32_addr(kCoefA, i));
+      const double b = view.read_f32(f32_addr(kCoefB, i));
+      double x = 1.0;
+      for (unsigned it = 0; it < kNewtonIters; ++it) {
+        const double f = x * x * x + a * x + b;
+        const double fp = 3.0 * x * x + a;
+        x -= f / (std::abs(fp) < 1e-3 ? (fp < 0 ? -1e-3 : 1e-3) : fp);
+      }
+      view.write_f32(f32_addr(kRoot, i), static_cast<float>(x));
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kRoot, kFuncElems * 4}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kCoefA, kElems * 4}, {kCoefB, kElems * 4}};
+  }
+
+ private:
+  static constexpr std::uint64_t kFuncElems = 1u << 18;  // 256K roots.
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_newtonraph() { return std::make_unique<NewtonWorkload>(); }
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,114 @@
+// SLA — scan (prefix sum) of large arrays (GPGPU-Sim benchmark suite).
+//
+// Table II classification: Group 4; LOW thrashing, High delay tolerance,
+// Medium activation sensitivity, Low Th_RBL sensitivity, Low error
+// tolerance.
+//
+// Model: a work-efficient block scan — each warp loads a 16-line block,
+// runs an up-sweep/down-sweep compute phase, stores the scanned block, and
+// finally streams the block-sums array. Pure wide sequential streaming
+// means almost every activation serves many requests (Low thrashing); the
+// remaining gains from delay come from fusing consecutive blocks' rows
+// (Medium activation sensitivity). Prefix sums accumulate any perturbation
+// across the whole array over hash-random data: Low error tolerance.
+#include "workloads/apps.hpp"
+
+#include "common/assert.hpp"
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+namespace {
+
+constexpr unsigned kWarps = 1280;
+constexpr unsigned kBlockLines = 16;
+constexpr unsigned kBlocksPerWarp = 4;
+
+constexpr Addr kIn = MiB(16);
+constexpr Addr kOut = MiB(64);
+constexpr Addr kSums = MiB(112);
+constexpr std::uint64_t kElems =
+    static_cast<std::uint64_t>(kWarps) * kBlocksPerWarp * kBlockLines * kF32PerLine;
+
+class SlaWorkload final : public Workload {
+ public:
+  std::string name() const override { return "SLA"; }
+  std::string description() const override {
+    return "Scan of large arrays (GPGPU-Sim suite)";
+  }
+  unsigned group() const override { return 4; }
+
+  FeatureTargets targets() const override {
+    return {.thrashing = Level::kLow,
+            .delay_tolerance = Level::kHigh,
+            .activation_sensitivity = Level::kMedium,
+            .th_rbl_sensitive = false,
+            .error_tolerance = Level::kLow};
+  }
+
+  unsigned num_warps() const override { return kWarps; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    // Per block: load tile, up-sweep, down-sweep, store tile; then one
+    // block-sums pass (load + compute).
+    constexpr unsigned kStepsPerBlock = 4;
+    constexpr unsigned kTotal = kBlocksPerWarp * kStepsPerBlock + 2;
+    if (step >= kTotal) return false;
+
+    if (step >= kBlocksPerWarp * kStepsPerBlock) {
+      if (step % 2 == 0) {
+        op = gpu::WarpOp::load_line(kSums + static_cast<Addr>(warp / 32) * kLineBytes,
+                                    /*approximable=*/false);
+      } else {
+        op = gpu::WarpOp::compute(30);
+      }
+      return true;
+    }
+
+    const unsigned blk = step / kStepsPerBlock;
+    const Addr off =
+        (static_cast<Addr>(warp) * kBlocksPerWarp + blk) * kBlockLines * kLineBytes;
+    switch (step % kStepsPerBlock) {
+      case 0:
+        op = wide_load(kIn + off, kBlockLines, /*approximable=*/true);
+        return true;
+      case 1:  // Up-sweep.
+        op = gpu::WarpOp::compute(60);
+        return true;
+      case 2:  // Down-sweep.
+        op = gpu::WarpOp::compute(60);
+        return true;
+      default:
+        op = wide_store(kOut + off, kBlockLines);
+        return true;
+    }
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    fill_hash_random(image, kIn, kFuncElems, 0x51A, -0.5, 1.5);
+  }
+
+  void compute_output(gpu::MemView& view) const override {
+    double running = 0.0;
+    for (std::uint64_t i = 0; i < kFuncElems; ++i) {
+      running += view.read_f32(f32_addr(kIn, i));
+      view.write_f32(f32_addr(kOut, i), static_cast<float>(running));
+    }
+  }
+
+  std::vector<AddrRange> output_ranges() const override {
+    return {{kOut, kFuncElems * 4}};
+  }
+
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{kIn, kElems * 4}};
+  }
+
+ private:
+  static constexpr std::uint64_t kFuncElems = 1u << 19;  // 512K-element window.
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_sla() { return std::make_unique<SlaWorkload>(); }
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,43 @@
+// Factory functions for the 20 application models of Table II.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace lazydram::workloads {
+
+std::unique_ptr<Workload> make_ray();           // Ray tracing
+std::unique_ptr<Workload> make_inversek2j();    // Inverse kinematics, 2-joint arm
+std::unique_ptr<Workload> make_newtonraph();    // Newton-Raphson equation solver
+std::unique_ptr<Workload> make_fwt();           // Fast Walsh transform
+std::unique_ptr<Workload> make_mvt();           // Matrix-vector product & transpose
+std::unique_ptr<Workload> make_jmein();         // Triangle intersection detection
+std::unique_ptr<Workload> make_atax();          // A^T * A * x
+std::unique_ptr<Workload> make_3dconv();        // 3D convolution
+std::unique_ptr<Workload> make_cons();          // 1D convolution
+std::unique_ptr<Workload> make_srad();          // Speckle-reducing anisotropic diffusion
+std::unique_ptr<Workload> make_lps();           // 3D Laplace solver
+std::unique_ptr<Workload> make_bicg();          // BiCGStab kernel
+std::unique_ptr<Workload> make_scp();           // Scalar products
+std::unique_ptr<Workload> make_gemm();          // Matrix multiplication
+std::unique_ptr<Workload> make_blackscholes();  // Black-Scholes option pricing
+std::unique_ptr<Workload> make_2mm();           // Two matrix multiplications
+std::unique_ptr<Workload> make_3mm();           // Three matrix multiplications
+std::unique_ptr<Workload> make_sla();           // Scan of large arrays
+std::unique_ptr<Workload> make_meanfilter();    // Noise-reduction convolution filter
+std::unique_ptr<Workload> make_laplacian();     // Image sharpening filter
+
+/// Image layout of the laplacian workload, used by the Fig. 14 example to
+/// render exact vs. approximate PGM outputs. Each 4KB row slot holds one
+/// 2KB input row followed by its 2KB output row.
+namespace laplacian_layout {
+inline constexpr Addr kBuffer = 16ull << 20;
+inline constexpr std::uint64_t kRowSlotBytes = 4096;
+inline constexpr Addr kImg = kBuffer;                ///< Input rows (stride 4KB).
+inline constexpr Addr kOut = kBuffer + 2048;         ///< Output rows (stride 4KB).
+inline constexpr unsigned kWidth = 512;
+inline constexpr unsigned kHeight = 512;
+}  // namespace laplacian_layout
+
+}  // namespace lazydram::workloads

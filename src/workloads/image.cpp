@@ -1,0 +1,86 @@
+#include "workloads/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "workloads/patterns.hpp"
+
+namespace lazydram::workloads {
+
+namespace {
+std::uint64_t stride_or_dense(unsigned width, std::uint64_t stride) {
+  return stride == 0 ? static_cast<std::uint64_t>(width) * 4 : stride;
+}
+}  // namespace
+
+void fill_test_image(gpu::MemoryImage& image, Addr base, unsigned width, unsigned height,
+                     std::uint64_t seed, unsigned features,
+                     std::uint64_t row_stride_bytes) {
+  const std::uint64_t stride = stride_or_dense(width, row_stride_bytes);
+
+  // Smooth background gradient.
+  std::vector<float> pixels(static_cast<std::size_t>(width) * height);
+  for (unsigned y = 0; y < height; ++y)
+    for (unsigned x = 0; x < width; ++x) {
+      const double g = 96.0 + 64.0 * std::sin(0.013 * x) * std::cos(0.017 * y) +
+                       40.0 * (static_cast<double>(x) / width);
+      pixels[static_cast<std::size_t>(y) * width + x] = static_cast<float>(g);
+    }
+
+  // Filled circles of varying intensity (feature edges for the filters).
+  for (unsigned c = 0; c < features; ++c) {
+    const std::uint64_t h = mix64(seed * 131 + c);
+    const unsigned cx = static_cast<unsigned>(h % width);
+    const unsigned cy = static_cast<unsigned>((h >> 16) % height);
+    const unsigned r = 4 + static_cast<unsigned>((h >> 32) % (width / 10));
+    const float value = static_cast<float>(40 + ((h >> 48) % 180));
+    const unsigned y0 = cy > r ? cy - r : 0, y1 = std::min(height - 1, cy + r);
+    const unsigned x0 = cx > r ? cx - r : 0, x1 = std::min(width - 1, cx + r);
+    for (unsigned y = y0; y <= y1; ++y)
+      for (unsigned x = x0; x <= x1; ++x) {
+        const long dx = static_cast<long>(x) - cx, dy = static_cast<long>(y) - cy;
+        if (dx * dx + dy * dy <= static_cast<long>(r) * r)
+          pixels[static_cast<std::size_t>(y) * width + x] = value;
+      }
+  }
+
+  for (unsigned y = 0; y < height; ++y)
+    for (unsigned x = 0; x < width; ++x)
+      image.write_f32(base + y * stride + 4ull * x,
+                      pixels[static_cast<std::size_t>(y) * width + x]);
+}
+
+bool write_pgm(const gpu::MemView& view, Addr base, unsigned width, unsigned height,
+               const std::string& path, std::uint64_t row_stride_bytes) {
+  const std::uint64_t stride = stride_or_dense(width, row_stride_bytes);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P5\n%u %u\n255\n", width, height);
+  for (unsigned y = 0; y < height; ++y)
+    for (unsigned x = 0; x < width; ++x) {
+      const float v = view.read_f32(base + y * stride + 4ull * x);
+      const int clamped = std::clamp(static_cast<int>(std::lround(v)), 0, 255);
+      std::fputc(clamped, f);
+    }
+  std::fclose(f);
+  return true;
+}
+
+double image_error(const gpu::MemView& exact, const gpu::MemView& approx, Addr base,
+                   unsigned width, unsigned height, std::uint64_t row_stride_bytes) {
+  const std::uint64_t stride = stride_or_dense(width, row_stride_bytes);
+  double sum = 0.0;
+  for (unsigned y = 0; y < height; ++y)
+    for (unsigned x = 0; x < width; ++x) {
+      const Addr a = base + y * stride + 4ull * x;
+      const double e = exact.read_f32(a);
+      const double p = approx.read_f32(a);
+      sum += std::min(1.0, std::abs(p - e) / std::max(std::abs(e), 1e-6));
+    }
+  return sum == 0.0 && width * height == 0
+             ? 0.0
+             : sum / (static_cast<double>(width) * height);
+}
+
+}  // namespace lazydram::workloads

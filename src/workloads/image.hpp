@@ -1,0 +1,33 @@
+// Synthetic grayscale test images for the image-processing workloads
+// (meanfilter, laplacian, srad, newtonraph) and a PGM writer used by the
+// Fig. 14 reproduction (exact vs. approximate output comparison).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/functional_memory.hpp"
+
+namespace lazydram::workloads {
+
+/// Writes a synthetic grayscale image (smooth gradients plus `features`
+/// geometric shapes, values in [0, 255]) as f32 pixels at `base`.
+/// `row_stride_bytes` is the byte distance between consecutive rows
+/// (0 = dense, width*4); a larger stride interleaves other buffers between
+/// rows. `seed` varies the feature placement.
+void fill_test_image(gpu::MemoryImage& image, Addr base, unsigned width, unsigned height,
+                     std::uint64_t seed, unsigned features = 12,
+                     std::uint64_t row_stride_bytes = 0);
+
+/// Reads an f32 image from `view` (row stride as above) and writes it as a
+/// binary PGM (clamping to [0, 255]). Returns false on I/O failure.
+bool write_pgm(const gpu::MemView& view, Addr base, unsigned width, unsigned height,
+               const std::string& path, std::uint64_t row_stride_bytes = 0);
+
+/// Mean relative per-pixel error between two f32 images read through views.
+double image_error(const gpu::MemView& exact, const gpu::MemView& approx, Addr base,
+                   unsigned width, unsigned height, std::uint64_t row_stride_bytes = 0);
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,32 @@
+#include "workloads/patterns.hpp"
+
+#include <cmath>
+
+namespace lazydram::workloads {
+
+void fill_smooth(gpu::MemoryImage& image, Addr base, std::uint64_t n, double amplitude,
+                 double freq, double offset) {
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double phase = kTwoPi * freq * static_cast<double>(i) / static_cast<double>(n);
+    image.write_f32(f32_addr(base, i),
+                    static_cast<float>(offset + amplitude * std::sin(phase)));
+  }
+}
+
+void fill_hash_random(gpu::MemoryImage& image, Addr base, std::uint64_t n,
+                      std::uint64_t seed, double lo, double hi) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double u = mix_unit(seed * 0x9e3779b97f4a7c15ULL + i);
+    image.write_f32(f32_addr(base, i), static_cast<float>(lo + (hi - lo) * u));
+  }
+}
+
+void fill_linear(gpu::MemoryImage& image, Addr base, std::uint64_t n, double start,
+                 double slope) {
+  for (std::uint64_t i = 0; i < n; ++i)
+    image.write_f32(f32_addr(base, i),
+                    static_cast<float>(start + slope * static_cast<double>(i)));
+}
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,60 @@
+#include "workloads/workload.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lazydram::workloads {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kLow: return "Low";
+    case Level::kMedium: return "Medium";
+    case Level::kHigh: return "High";
+  }
+  return "?";
+}
+
+double Workload::application_error(const gpu::FunctionalMemory& fmem) const {
+  // Exact pass: pristine image, no overlay.
+  gpu::MemoryImage exact_img(fmem.image());
+  gpu::MemView exact_view(exact_img, nullptr);
+  compute_output(exact_view);
+
+  // Approximate pass: every read consults the VP overlay first.
+  gpu::MemoryImage approx_img(fmem.image());
+  gpu::MemView approx_view(approx_img, &fmem.overlay());
+  compute_output(approx_view);
+
+  // Average relative error over all declared f32 outputs, reading each
+  // output the way a consumer would (through the respective view).
+  double error_sum = 0.0;
+  std::uint64_t count = 0;
+  for (const AddrRange& range : output_ranges()) {
+    LD_ASSERT_MSG(range.bytes % 4 == 0, "output ranges must be f32 arrays");
+    for (Addr a = range.base; a < range.base + range.bytes; a += 4) {
+      const float e = exact_view.read_f32(a);
+      const float p = approx_view.read_f32(a);
+      if (!std::isfinite(e) || !std::isfinite(p)) {
+        error_sum += 1.0;  // Non-finite divergence counts as 100% error.
+        ++count;
+        continue;
+      }
+      const double denom = std::abs(static_cast<double>(e));
+      const double diff = std::abs(static_cast<double>(p) - static_cast<double>(e));
+      // Guard tiny denominators so near-zero outputs do not explode the
+      // relative metric (standard practice in approximate-computing evals).
+      error_sum += std::min(1.0, diff / std::max(denom, 1e-6));
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : error_sum / static_cast<double>(count);
+}
+
+bool Workload::is_approximable(Addr addr) const {
+  for (const AddrRange& range : approximable_ranges())
+    if (range.contains(addr)) return true;
+  return false;
+}
+
+}  // namespace lazydram::workloads

@@ -1,0 +1,83 @@
+// Workload (GPGPU application model) interface.
+//
+// Each of the paper's 20 applications (Table II) is modeled as:
+//   * a timed half — per-warp op streams (op_at) that reproduce the app's
+//     memory access pattern, arithmetic intensity and footprint, and thereby
+//     its Table II/III feature classification, and
+//   * a functional half — input initialization (init_memory), a dataflow
+//     model (compute_output) and declared output ranges, from which the
+//     application error under value approximation is measured exactly as the
+//     paper defines it (average relative error of outputs).
+//
+// The `#pragma pred_var` annotations of Listing 1 become approximable
+// address ranges; op streams tag loads from those ranges.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/functional_memory.hpp"
+#include "gpu/warp.hpp"
+
+namespace lazydram::workloads {
+
+/// Table III intensity levels.
+enum class Level : std::uint8_t { kLow, kMedium, kHigh };
+
+const char* level_name(Level level);
+
+/// The application's Table II classification (used by the characterization
+/// bench to validate that the model reproduces the paper's feature vector).
+struct FeatureTargets {
+  Level thrashing = Level::kLow;            ///< % requests in RBL(1-8) rows.
+  Level delay_tolerance = Level::kLow;      ///< Maximum tolerable delay band.
+  Level activation_sensitivity = Level::kLow;  ///< Act. reduction at DMS(2048).
+  bool th_rbl_sensitive = false;            ///< Gains from lowering Th_RBL.
+  Level error_tolerance = Level::kLow;      ///< App error band at 10% coverage.
+};
+
+/// Half-open byte range [base, base + bytes).
+struct AddrRange {
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+  bool contains(Addr a) const { return a >= base && a - base < bytes; }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// Result-presentation group 1-4 (Section V).
+  virtual unsigned group() const = 0;
+  virtual FeatureTargets targets() const = 0;
+
+  // --- Timed half ---
+  virtual unsigned num_warps() const = 0;
+  /// Produces warp `warp`'s op at position `step`; returns false when the
+  /// warp's program has ended. Must be deterministic and side-effect free.
+  virtual bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const = 0;
+
+  // --- Functional half ---
+  virtual void init_memory(gpu::MemoryImage& image) const = 0;
+  /// Executes the app's dataflow against `view` (reads consult the
+  /// approximate overlay when present; writes land in the view's storage).
+  virtual void compute_output(gpu::MemView& view) const = 0;
+  /// f32 arrays whose values constitute the application output.
+  virtual std::vector<AddrRange> output_ranges() const = 0;
+  /// Annotated safe-to-approximate input regions (Listing 1).
+  virtual std::vector<AddrRange> approximable_ranges() const = 0;
+
+  /// Average relative error between the exact and approximate outputs
+  /// (Section II-D). Default: elementwise mean over all output_ranges().
+  virtual double application_error(const gpu::FunctionalMemory& fmem) const;
+
+  /// True iff `addr` lies in an annotated approximable range.
+  bool is_approximable(Addr addr) const;
+};
+
+}  // namespace lazydram::workloads

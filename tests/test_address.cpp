@@ -1,0 +1,121 @@
+// Address-mapping tests: map/compose inversion (property sweep), geometry,
+// and the swizzle's resonance-breaking behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/address.hpp"
+
+namespace lazydram {
+namespace {
+
+GpuConfig config() {
+  GpuConfig cfg;
+  cfg.validate();
+  return cfg;
+}
+
+TEST(AddressMapper, FieldsWithinBounds) {
+  const GpuConfig cfg = config();
+  AddressMapper mapper(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const Addr a = rng.next_below(1ull << 34);
+    const DramLocation loc = mapper.map(a);
+    EXPECT_LT(loc.channel, cfg.num_channels);
+    EXPECT_LT(loc.bank, cfg.banks_per_channel);
+    EXPECT_LT(loc.col_byte, cfg.row_bytes);
+    EXPECT_EQ(loc.bank_group, loc.bank % cfg.bank_groups_per_channel);
+  }
+}
+
+TEST(AddressMapper, ComposeInvertsMap) {
+  AddressMapper mapper(config());
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    const Addr a = rng.next_below(1ull << 34);
+    const DramLocation loc = mapper.map(a);
+    EXPECT_EQ(mapper.compose(loc.channel, loc.bank, loc.row, loc.col_byte), a);
+  }
+}
+
+TEST(AddressMapper, MapInvertsCompose) {
+  const GpuConfig cfg = config();
+  AddressMapper mapper(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const ChannelId ch = static_cast<ChannelId>(rng.next_below(cfg.num_channels));
+    const BankId bank = static_cast<BankId>(rng.next_below(cfg.banks_per_channel));
+    const RowId row = rng.next_below(1u << 16);
+    const std::uint32_t col = static_cast<std::uint32_t>(rng.next_below(cfg.row_bytes));
+    const DramLocation loc = mapper.map(mapper.compose(ch, bank, row, col));
+    EXPECT_EQ(loc.channel, ch);
+    EXPECT_EQ(loc.bank, bank);
+    EXPECT_EQ(loc.row, row);
+    EXPECT_EQ(loc.col_byte, col);
+  }
+}
+
+TEST(AddressMapper, SameChunkSameRow) {
+  // Two lines within one 256B interleave chunk always share channel, bank
+  // and row (the basis of intra-tile row locality).
+  const GpuConfig cfg = config();
+  AddressMapper mapper(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const Addr chunk = rng.next_below(1ull << 24) * cfg.channel_interleave_bytes;
+    const DramLocation a = mapper.map(chunk);
+    const DramLocation b = mapper.map(chunk + kLineBytes);
+    EXPECT_TRUE(a.same_row(b));
+  }
+}
+
+TEST(AddressMapper, ChannelOfMatchesMap) {
+  AddressMapper mapper(config());
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const Addr a = rng.next_below(1ull << 34);
+    EXPECT_EQ(mapper.channel_of(a), mapper.map(a).channel);
+  }
+}
+
+TEST(AddressMapper, SwizzleBreaksStrideResonance) {
+  // Power-of-two / channel-period strides must not collapse onto a single
+  // channel. (A 6KB stride is congruent to 0 modulo the 1536B channel
+  // period; without swizzling every access would land on one channel.)
+  const GpuConfig cfg = config();
+  AddressMapper mapper(cfg);
+  for (const Addr stride : {Addr{6144}, Addr{1536}, Addr{12288}, Addr{1 << 20}}) {
+    std::vector<unsigned> per_channel(cfg.num_channels, 0);
+    for (Addr i = 0; i < 600; ++i) ++per_channel[mapper.map(16 * 1024 * 1024 + i * stride).channel];
+    for (const unsigned n : per_channel) {
+      EXPECT_GT(n, 600u / cfg.num_channels / 4) << "stride " << stride;
+      EXPECT_LT(n, 600u / cfg.num_channels * 4) << "stride " << stride;
+    }
+  }
+}
+
+TEST(AddressMapper, SequentialStreamTouchesAllChannels) {
+  const GpuConfig cfg = config();
+  AddressMapper mapper(cfg);
+  std::set<ChannelId> seen;
+  for (Addr a = 0; a < 6 * cfg.channel_interleave_bytes; a += cfg.channel_interleave_bytes)
+    seen.insert(mapper.map(a).channel);
+  EXPECT_EQ(seen.size(), cfg.num_channels);
+}
+
+TEST(AddressMapper, DistinctAddressesDistinctCoordinates) {
+  // The mapping must be injective: distinct line addresses never alias to
+  // the same (channel, bank, row, column).
+  AddressMapper mapper(config());
+  std::set<std::tuple<ChannelId, BankId, RowId, std::uint32_t>> seen;
+  for (Addr line = 0; line < 20000; ++line) {
+    const DramLocation loc = mapper.map(line * kLineBytes);
+    EXPECT_TRUE(seen.insert({loc.channel, loc.bank, loc.row, loc.col_byte}).second);
+  }
+}
+
+}  // namespace
+}  // namespace lazydram

@@ -1,0 +1,115 @@
+// Cache + MSHR unit tests: lookup, LRU eviction, dirty write-back, the
+// approximate-fill tag, per-set enumeration (VP support) and MSHR merging.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
+#include "common/config.hpp"
+
+namespace lazydram::cache {
+namespace {
+
+CacheGeometry small_geo() { return CacheGeometry{4 * 128 * 2, 2, 128, 8}; }  // 4 sets, 2 ways.
+
+Addr line_in_set(const Cache& c, std::uint32_t set, unsigned k) {
+  // k-th distinct line mapping to `set`.
+  return (static_cast<Addr>(k) * c.num_sets() + set) * kLineBytes;
+}
+
+TEST(Cache, MissThenFillThenHit) {
+  Cache c(small_geo());
+  const Addr a = 0x1000;
+  EXPECT_FALSE(c.access(a, false).hit);
+  c.fill(a, false, false);
+  EXPECT_TRUE(c.access(a, false).hit);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.fills(), 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(small_geo());
+  const Addr a = line_in_set(c, 0, 0), b = line_in_set(c, 0, 1), d = line_in_set(c, 0, 2);
+  c.fill(a, false, false);
+  c.fill(b, false, false);
+  c.access(a, false);  // Touch a: b becomes LRU.
+  c.fill(d, false, false);
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache c(small_geo());
+  const Addr a = line_in_set(c, 1, 0), b = line_in_set(c, 1, 1), d = line_in_set(c, 1, 2);
+  c.fill(a, /*dirty=*/true, false);
+  c.fill(b, false, false);
+  const AccessResult r = c.fill(d, false, false);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.evicted_line, a);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache c(small_geo());
+  const Addr a = line_in_set(c, 2, 0), b = line_in_set(c, 2, 1), d = line_in_set(c, 2, 2);
+  c.fill(a, false, false);
+  c.access(a, /*is_write=*/true);
+  c.fill(b, false, false);
+  c.access(b, false);
+  const AccessResult r = c.fill(d, false, false);  // Evicts a (LRU, dirty).
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.evicted_line, a);
+}
+
+TEST(Cache, ApproximateFlagTracked) {
+  Cache c(small_geo());
+  const Addr a = 0x2000;
+  c.fill(a, false, /*approximate=*/true);
+  EXPECT_TRUE(c.line_is_approx(a));
+  c.fill(a, false, /*approximate=*/false);  // Accurate refill clears it.
+  EXPECT_FALSE(c.line_is_approx(a));
+}
+
+TEST(Cache, InvalidateReportsDirtiness) {
+  Cache c(small_geo());
+  c.fill(0x3000, true, false);
+  EXPECT_TRUE(c.invalidate(0x3000));
+  EXPECT_FALSE(c.contains(0x3000));
+  EXPECT_FALSE(c.invalidate(0x3000));
+}
+
+TEST(Cache, LinesInSetEnumeratesValidLines) {
+  Cache c(small_geo());
+  const Addr a = line_in_set(c, 3, 0), b = line_in_set(c, 3, 1);
+  c.fill(a, false, false);
+  c.fill(b, false, false);
+  std::vector<Addr> lines;
+  c.lines_in_set(3, lines);
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_TRUE((lines[0] == a && lines[1] == b) || (lines[0] == b && lines[1] == a));
+}
+
+TEST(Mshr, PrimaryThenMergedMisses) {
+  MshrTable mshr(4, 8);
+  EXPECT_TRUE(mshr.allocate(0x1000, 1));   // Primary.
+  EXPECT_FALSE(mshr.allocate(0x1000, 2));  // Merge.
+  EXPECT_TRUE(mshr.has(0x1000));
+  const auto waiters = mshr.release(0x1000);
+  ASSERT_EQ(waiters.size(), 2u);
+  EXPECT_EQ(waiters[0], 1u);
+  EXPECT_EQ(waiters[1], 2u);
+  EXPECT_FALSE(mshr.has(0x1000));
+}
+
+TEST(Mshr, CapacityLimits) {
+  MshrTable mshr(2, 2);
+  mshr.allocate(0x100, 1);
+  mshr.allocate(0x200, 2);
+  EXPECT_FALSE(mshr.can_allocate(0x300));  // Entries exhausted.
+  EXPECT_TRUE(mshr.can_allocate(0x100));   // Merge room remains.
+  mshr.allocate(0x100, 3);
+  EXPECT_FALSE(mshr.can_allocate(0x100));  // Merge limit hit.
+}
+
+}  // namespace
+}  // namespace lazydram::cache

@@ -1,0 +1,62 @@
+// Table III classifier threshold tests and RunMetrics helpers.
+#include <gtest/gtest.h>
+
+#include "sim/characterize.hpp"
+#include "sim/metrics.hpp"
+
+namespace lazydram::sim {
+namespace {
+
+using workloads::Level;
+
+TEST(Classifiers, ThrashingBands) {
+  EXPECT_EQ(classify_thrashing(0.0), Level::kLow);
+  EXPECT_EQ(classify_thrashing(0.029), Level::kLow);
+  EXPECT_EQ(classify_thrashing(0.03), Level::kMedium);
+  EXPECT_EQ(classify_thrashing(0.099), Level::kMedium);
+  EXPECT_EQ(classify_thrashing(0.10), Level::kHigh);
+  EXPECT_EQ(classify_thrashing(1.0), Level::kHigh);
+}
+
+TEST(Classifiers, DelayToleranceBands) {
+  EXPECT_EQ(classify_delay_tolerance(0), Level::kLow);
+  EXPECT_EQ(classify_delay_tolerance(255), Level::kLow);
+  EXPECT_EQ(classify_delay_tolerance(256), Level::kMedium);
+  EXPECT_EQ(classify_delay_tolerance(1023), Level::kMedium);
+  EXPECT_EQ(classify_delay_tolerance(1024), Level::kHigh);
+}
+
+TEST(Classifiers, ActivationSensitivityBands) {
+  EXPECT_EQ(classify_act_sensitivity(0.05), Level::kLow);
+  EXPECT_EQ(classify_act_sensitivity(0.10), Level::kMedium);
+  EXPECT_EQ(classify_act_sensitivity(0.199), Level::kMedium);
+  EXPECT_EQ(classify_act_sensitivity(0.20), Level::kHigh);
+}
+
+TEST(Classifiers, ThSensitivityThreshold) {
+  EXPECT_FALSE(classify_th_sensitivity(0.049));
+  EXPECT_TRUE(classify_th_sensitivity(0.05));
+}
+
+TEST(Classifiers, ErrorToleranceBandsAreInverted) {
+  // Table III: High tolerance = LOW error.
+  EXPECT_EQ(classify_error_tolerance(0.01), Level::kHigh);
+  EXPECT_EQ(classify_error_tolerance(0.05), Level::kMedium);
+  EXPECT_EQ(classify_error_tolerance(0.199), Level::kMedium);
+  EXPECT_EQ(classify_error_tolerance(0.20), Level::kLow);
+}
+
+TEST(RunMetricsHelpers, RequestShareWithRbl) {
+  RunMetrics m;
+  m.dram_reads = 90;
+  m.dram_writes = 10;
+  m.rbl_hist.add(1, 20);  // 20 requests in RBL(1) rows.
+  m.rbl_hist.add(2, 10);  // 20 requests in RBL(2) rows.
+  m.rbl_hist.add(12, 5);  // 60 requests in RBL(12) rows.
+  EXPECT_DOUBLE_EQ(m.request_share_with_rbl(1, 1), 0.20);
+  EXPECT_DOUBLE_EQ(m.request_share_with_rbl(1, 8), 0.40);
+  EXPECT_DOUBLE_EQ(m.request_share_with_rbl(1, 64), 1.0);
+}
+
+}  // namespace
+}  // namespace lazydram::sim

@@ -1,0 +1,154 @@
+// Unit tests for common/: RNG determinism, clock-domain divider, statistics
+// primitives, text tables and configuration validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace lazydram {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  unsigned equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0u);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformityCoarse) {
+  Rng rng(11);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[static_cast<int>(rng.next_double() * 10)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(ClockDivider, Ratio924Over1400) {
+  ClockDivider div(924, 1400);
+  unsigned slow = 0;
+  for (int i = 0; i < 1400; ++i) slow += div.tick();
+  EXPECT_EQ(slow, 924u);
+  EXPECT_EQ(div.slow_cycles(), 924u);
+}
+
+TEST(ClockDivider, NeverMoreThanOneTickWhenSlower) {
+  ClockDivider div(3, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(div.tick(), 1u);
+}
+
+TEST(ClockDivider, UnityRatioTicksEveryCycle) {
+  ClockDivider div(5, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(div.tick(), 1u);
+}
+
+TEST(ClockDivider, ExactLongRunRatio) {
+  ClockDivider div(924, 1400);
+  for (int i = 0; i < 14000000; ++i) div.tick();
+  EXPECT_EQ(div.slow_cycles(), 9240000u);
+}
+
+TEST(Histogram, BucketsAndRanges) {
+  Histogram h(8);
+  h.add(1, 3);
+  h.add(2);
+  h.add(8);
+  h.add(20);  // Overflows into the pooled bucket.
+  EXPECT_EQ(h.at(1), 3u);
+  EXPECT_EQ(h.at(2), 1u);
+  EXPECT_EQ(h.in_range(1, 2), 4u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.mean(), (3.0 * 1 + 2 + 8 + 20) / 6.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(4);
+  h.add(2, 5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.at(2), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Summary, TracksMinMaxMean) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t({"A", "LongHeader"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("LongHeader"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("x,1"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(-0.123, 1), "-12.3%");
+  EXPECT_EQ(TextTable::pct(0.05, 0), "+5%");
+}
+
+TEST(GpuConfig, DefaultsValidate) {
+  GpuConfig cfg;
+  cfg.validate();  // Must not abort.
+  EXPECT_EQ(cfg.num_sms, 30u);
+  EXPECT_EQ(cfg.num_channels, 6u);
+  EXPECT_EQ(cfg.pending_queue_size, 128u);
+  EXPECT_EQ(cfg.timing.tRC, 40u);
+}
+
+TEST(GpuConfig, DescribeMentionsKeyParameters) {
+  GpuConfig cfg;
+  bool found_timing = false;
+  for (const auto& [key, value] : cfg.describe())
+    if (value.find("tRC=40") != std::string::npos) found_timing = true;
+  EXPECT_TRUE(found_timing);
+}
+
+TEST(CacheGeometry, SetCount) {
+  const CacheGeometry geo{16 * 1024, 4, 128, 32};
+  EXPECT_EQ(geo.num_sets(), 32u);
+}
+
+}  // namespace
+}  // namespace lazydram

@@ -1,0 +1,159 @@
+// Controller-level integration of the lazy schemes: DMS gating observed at
+// the command engine, AMS drops flowing through the reply path, closed-row
+// ablation behaviour and reply ordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "dram/address.hpp"
+#include "mem/controller.hpp"
+
+namespace lazydram {
+namespace {
+
+class SchemeControllerTest : public ::testing::Test {
+ protected:
+  SchemeControllerTest() : mapper_(cfg_) { cfg_.validate(); }
+
+  std::unique_ptr<MemoryController> make(const core::SchemeSpec& spec,
+                                         RowPolicy policy = RowPolicy::kOpenRow,
+                                         bool ams_ready = true) {
+    auto sched =
+        std::make_unique<core::LazyScheduler>(cfg_.scheme, spec, cfg_.banks_per_channel);
+    lazy_ = sched.get();
+    auto mc = std::make_unique<MemoryController>(cfg_, 0, mapper_, std::move(sched),
+                                                 policy);
+    if (ams_ready) lazy_->set_ams_ready(true);
+    return mc;
+  }
+
+  MemRequest read_at(BankId bank, RowId row, std::uint32_t col, bool approx = true) {
+    MemRequest r;
+    r.id = next_id_++;
+    r.line_addr = mapper_.compose(0, bank, row, col * kLineBytes);
+    r.kind = AccessKind::kRead;
+    r.approximable = approx;
+    return r;
+  }
+
+  unsigned drain(MemoryController& mc, Cycle until, unsigned* approx_replies = nullptr) {
+    unsigned replies = 0;
+    for (; now_ < until; ++now_) {
+      mc.tick(now_);
+      while (auto r = mc.pop_reply(now_)) {
+        ++replies;
+        if (approx_replies != nullptr && r->approximate) ++*approx_replies;
+      }
+    }
+    return replies;
+  }
+
+  GpuConfig cfg_;
+  AddressMapper mapper_;
+  core::LazyScheduler* lazy_ = nullptr;
+  RequestId next_id_ = 1;
+  Cycle now_ = 0;
+};
+
+TEST_F(SchemeControllerTest, DmsDelaysFirstActivation) {
+  // With DMS(200), a lone row-miss request is served only after aging.
+  auto mc = make(core::make_static_dms_spec(200, cfg_.scheme));
+  mc->enqueue(read_at(0, 5, 0), now_);
+  drain(*mc, 199);
+  EXPECT_EQ(mc->channel().activations(), 0u);  // Still gated.
+  drain(*mc, 400);
+  EXPECT_EQ(mc->channel().activations(), 1u);
+  EXPECT_EQ(mc->reads_served(), 1u);
+}
+
+TEST_F(SchemeControllerTest, DmsDelayMergesLateArrivals) {
+  auto mc = make(core::make_static_dms_spec(500, cfg_.scheme));
+  mc->enqueue(read_at(0, 5, 0), now_);
+  drain(*mc, 300);
+  mc->enqueue(read_at(0, 5, 1), now_);  // Arrives while the first is gated.
+  drain(*mc, 1500);
+  mc->finalize();
+  EXPECT_EQ(mc->reads_served(), 2u);
+  EXPECT_EQ(mc->channel().activations(), 1u);  // One row opening served both.
+}
+
+TEST_F(SchemeControllerTest, AmsDropsGoThroughReplyPathMarkedApproximate) {
+  auto mc = make(core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme));
+  mc->enqueue(read_at(1, 7, 0), now_);
+  unsigned approx = 0;
+  const unsigned replies = drain(*mc, 500, &approx);
+  EXPECT_EQ(replies, 1u);
+  EXPECT_EQ(approx, 1u);
+  EXPECT_EQ(mc->reads_dropped(), 1u);
+  EXPECT_EQ(mc->channel().activations(), 0u);  // Never touched DRAM.
+}
+
+TEST_F(SchemeControllerTest, AmsSkipsNonApproximableAndServesFromDram) {
+  auto mc = make(core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme));
+  mc->enqueue(read_at(1, 7, 0, /*approx=*/false), now_);
+  unsigned approx = 0;
+  const unsigned replies = drain(*mc, 500, &approx);
+  EXPECT_EQ(replies, 1u);
+  EXPECT_EQ(approx, 0u);
+  EXPECT_EQ(mc->reads_dropped(), 0u);
+  EXPECT_EQ(mc->channel().activations(), 1u);
+}
+
+TEST_F(SchemeControllerTest, AmsNotReadyServesEverything) {
+  auto mc = make(core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme),
+                 RowPolicy::kOpenRow, /*ams_ready=*/false);
+  mc->enqueue(read_at(2, 3, 0), now_);
+  drain(*mc, 500);
+  EXPECT_EQ(mc->reads_dropped(), 0u);
+  EXPECT_EQ(mc->reads_served(), 1u);
+}
+
+TEST_F(SchemeControllerTest, AmsDropsWholeGroupOnePerCycle) {
+  auto mc = make(core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme));
+  // Th_RBL = 8: a 3-request group qualifies and drains fully.
+  for (std::uint32_t c = 0; c < 3; ++c) mc->enqueue(read_at(3, 9, c), now_);
+  drain(*mc, 500);
+  EXPECT_EQ(mc->reads_dropped(), 3u);
+  EXPECT_EQ(mc->channel().activations(), 0u);
+}
+
+TEST_F(SchemeControllerTest, AmsLeavesLargeGroupsToDram) {
+  auto mc = make(core::make_static_ams_spec(2, cfg_.scheme));
+  for (std::uint32_t c = 0; c < 5; ++c) mc->enqueue(read_at(4, 11, c), now_);
+  drain(*mc, 1000);
+  // Group of 5 > Th_RBL 2: all served by DRAM with one activation.
+  EXPECT_EQ(mc->reads_dropped(), 0u);
+  EXPECT_EQ(mc->reads_served(), 5u);
+  mc->finalize();
+  EXPECT_EQ(mc->channel().activations(), 1u);
+}
+
+TEST_F(SchemeControllerTest, ClosedRowPolicyPrechargesIdleRows) {
+  core::SchemeSpec baseline;
+  auto open_mc = make(baseline, RowPolicy::kOpenRow);
+  open_mc->enqueue(read_at(0, 5, 0), now_);
+  drain(*open_mc, 300);
+  // Open-row: the row stays open after service.
+  EXPECT_TRUE(open_mc->channel().bank(0).row_open());
+
+  now_ = 0;
+  auto closed_mc = make(baseline, RowPolicy::kClosedRow);
+  closed_mc->enqueue(read_at(0, 5, 0), now_);
+  drain(*closed_mc, 300);
+  EXPECT_FALSE(closed_mc->channel().bank(0).row_open());
+}
+
+TEST_F(SchemeControllerTest, ReadLatencyAccountedFromEnqueueToData) {
+  auto mc = make(core::SchemeSpec{});
+  mc->enqueue(read_at(0, 1, 0), now_);
+  drain(*mc, 200);
+  ASSERT_EQ(mc->read_latency().count(), 1u);
+  // ACT(tRCD) + RD(tCL) + burst is the minimum service time.
+  const DramTiming& t = cfg_.timing;
+  EXPECT_GE(mc->read_latency().mean(), t.tRCD + t.tCL + t.tBURST);
+}
+
+}  // namespace
+}  // namespace lazydram

@@ -1,0 +1,213 @@
+// End-to-end GpuTop integration tests: completion, conservation, determinism,
+// scheme invariants (coverage cap, baseline equivalence) on a small custom
+// workload plus spot checks on registry apps.
+#include <gtest/gtest.h>
+
+#include "core/lazy_scheduler.hpp"
+#include "gpu/gpu_top.hpp"
+#include "mem/frfcfs.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/registry.hpp"
+
+namespace lazydram {
+namespace {
+
+using workloads::AddrRange;
+using workloads::Level;
+
+/// Small deterministic workload: strided tile reads + scattered reads +
+/// stores, sized to finish in ~50k cycles.
+class MiniWorkload final : public workloads::Workload {
+ public:
+  std::string name() const override { return "mini"; }
+  std::string description() const override { return "test workload"; }
+  unsigned group() const override { return 1; }
+  workloads::FeatureTargets targets() const override { return {}; }
+  unsigned num_warps() const override { return 120; }
+
+  bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const override {
+    constexpr unsigned kIters = 24;
+    if (step >= kIters * 4) return false;
+    const unsigned iter = step / 4;
+    const Addr base = workloads::MiB(16) +
+                      (static_cast<Addr>(warp) * kIters + iter) * 8 * kLineBytes;
+    switch (step % 4) {
+      case 0:
+        op = workloads::wide_load(base, 8, true);
+        return true;
+      case 1:
+        op = gpu::WarpOp::load_line(
+            workloads::MiB(512) +
+                (workloads::mix64(warp * 131 + iter) % 4096) * kLineBytes,
+            true);
+        return true;
+      case 2:
+        op = gpu::WarpOp::compute(12);
+        return true;
+      default:
+        op = gpu::WarpOp::store_line(workloads::MiB(768) +
+                                     static_cast<Addr>(warp) * kLineBytes);
+        return true;
+    }
+  }
+
+  void init_memory(gpu::MemoryImage& image) const override {
+    workloads::fill_smooth(image, workloads::MiB(16), 4096, 1.0, 3.0, 2.0);
+    workloads::fill_smooth(image, workloads::MiB(512), 4096 * 32, 0.5, 5.0, 1.0);
+  }
+  void compute_output(gpu::MemView& view) const override {
+    double acc = 0.0;
+    for (unsigned i = 0; i < 4096; ++i)
+      acc += view.read_f32(workloads::f32_addr(workloads::MiB(16), i));
+    view.write_f32(workloads::MiB(896), static_cast<float>(acc));
+  }
+  std::vector<AddrRange> output_ranges() const override {
+    return {{workloads::MiB(896), 4}};
+  }
+  std::vector<AddrRange> approximable_ranges() const override {
+    return {{workloads::MiB(16), workloads::MiB(256)},
+            {workloads::MiB(512), workloads::MiB(4)}};
+  }
+};
+
+gpu::GpuTop::SchedulerFactory lazy_factory(const GpuConfig& cfg,
+                                           const core::SchemeSpec& spec) {
+  return [&cfg, spec](ChannelId) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
+                                                 cfg.banks_per_channel);
+  };
+}
+
+TEST(GpuTop, BaselineRunCompletesAndConserves) {
+  MiniWorkload wl;
+  GpuConfig cfg;
+  const core::SchemeSpec spec;
+  gpu::GpuTop top(cfg, wl, lazy_factory(cfg, spec));
+  ASSERT_TRUE(top.run(20'000'000));
+  EXPECT_TRUE(top.finished());
+  EXPECT_GT(top.instructions(), 0u);
+
+  // Conservation: every read received by every controller was served or
+  // dropped; every write received was served.
+  for (ChannelId ch = 0; ch < top.num_channels(); ++ch) {
+    const MemoryController& mc = top.controller(ch);
+    EXPECT_EQ(mc.reads_received(), mc.reads_served() + mc.reads_dropped());
+    EXPECT_EQ(mc.writes_received(), mc.writes_served());
+    EXPECT_EQ(mc.reads_dropped(), 0u);  // No AMS in baseline.
+  }
+  EXPECT_TRUE(top.fmem().overlay().empty());
+}
+
+TEST(GpuTop, DeterministicAcrossRuns) {
+  MiniWorkload wl;
+  GpuConfig cfg;
+  const core::SchemeSpec spec =
+      core::make_scheme_spec(core::SchemeKind::kDynCombo, cfg.scheme);
+  auto run_once = [&] {
+    gpu::GpuTop top(cfg, wl, lazy_factory(cfg, spec));
+    top.run(20'000'000);
+    return sim::collect_metrics(top, wl, "x", false);
+  };
+  const sim::RunMetrics a = run_once();
+  const sim::RunMetrics b = run_once();
+  EXPECT_EQ(a.core_cycles, b.core_cycles);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(GpuTop, BaselineLazyMatchesPlainFrFcfs) {
+  MiniWorkload wl;
+  GpuConfig cfg;
+  const core::SchemeSpec spec;
+  gpu::GpuTop lazy_top(cfg, wl, lazy_factory(cfg, spec));
+  lazy_top.run(20'000'000);
+  gpu::GpuTop fr_top(cfg, wl, [](ChannelId) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<FrFcfsScheduler>();
+  });
+  fr_top.run(20'000'000);
+  EXPECT_EQ(lazy_top.core_cycles(), fr_top.core_cycles());
+  sim::RunMetrics a = sim::collect_metrics(lazy_top, wl, "a", false);
+  sim::RunMetrics b = sim::collect_metrics(fr_top, wl, "b", false);
+  EXPECT_EQ(a.activations, b.activations);
+}
+
+TEST(GpuTop, AmsCoverageRespectsCap) {
+  MiniWorkload wl;
+  GpuConfig cfg;
+  const core::SchemeSpec spec =
+      core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg.scheme);
+  gpu::GpuTop top(cfg, wl, lazy_factory(cfg, spec));
+  ASSERT_TRUE(top.run(20'000'000));
+  const sim::RunMetrics m = sim::collect_metrics(top, wl, "ams", false);
+  EXPECT_GT(m.drops, 0u);
+  // Row-group drains may overshoot the cap by at most Th_RBL per channel.
+  const double slack =
+      static_cast<double>(cfg.scheme.static_th_rbl * cfg.num_channels) /
+      static_cast<double>(m.reads_received);
+  EXPECT_LE(m.coverage, cfg.scheme.coverage_cap + slack);
+  EXPECT_FALSE(top.fmem().overlay().empty());
+}
+
+TEST(GpuTop, DmsReducesActivationsOnMini) {
+  MiniWorkload wl;
+  GpuConfig cfg;
+  gpu::GpuTop base(cfg, wl, lazy_factory(cfg, core::SchemeSpec{}));
+  base.run(20'000'000);
+  const core::SchemeSpec dms = core::make_static_dms_spec(512, cfg.scheme);
+  gpu::GpuTop delayed(cfg, wl, lazy_factory(cfg, dms));
+  delayed.run(20'000'000);
+  const auto acts = [](const gpu::GpuTop& t) {
+    std::uint64_t n = 0;
+    for (ChannelId ch = 0; ch < t.num_channels(); ++ch)
+      n += t.controller(ch).channel().activations();
+    return n;
+  };
+  EXPECT_LT(acts(delayed), acts(base));
+}
+
+TEST(GpuTop, MetricsIdentities) {
+  MiniWorkload wl;
+  GpuConfig cfg;
+  gpu::GpuTop top(cfg, wl, lazy_factory(cfg, core::SchemeSpec{}));
+  top.run(20'000'000);
+  const sim::RunMetrics m = sim::collect_metrics(top, wl, "base", false);
+  // Avg-RBL identity: column accesses / activations.
+  EXPECT_NEAR(m.avg_rbl,
+              static_cast<double>(m.dram_reads + m.dram_writes) /
+                  static_cast<double>(m.activations),
+              1e-9);
+  // The RBL histogram accounts for every activation and every access.
+  std::uint64_t acts = 0, accesses = 0;
+  for (std::uint64_t k = 1; k <= m.rbl_hist.max_key(); ++k) {
+    acts += m.rbl_hist.at(k);
+    accesses += k * m.rbl_hist.at(k);
+  }
+  EXPECT_EQ(acts + m.rbl_hist.overflow(), m.activations);
+  EXPECT_LE(accesses, m.dram_reads + m.dram_writes);
+  EXPECT_GT(m.ipc, 0.0);
+  EXPECT_GT(m.bwutil, 0.0);
+  EXPECT_LE(m.bwutil, 1.0);
+}
+
+TEST(Simulator, EndToEndSchemeOrderingOnScp) {
+  // The paper's headline ordering on one real app: combo <= AMS < baseline
+  // activations, and AMS must not hurt IPC.
+  const auto wl = workloads::make_workload("SCP");
+  GpuConfig cfg;
+  const sim::RunMetrics base = sim::simulate_scheme(*wl, core::SchemeKind::kBaseline, cfg);
+  const sim::RunMetrics ams = sim::simulate_scheme(*wl, core::SchemeKind::kStaticAms, cfg);
+  const sim::RunMetrics combo =
+      sim::simulate_scheme(*wl, core::SchemeKind::kStaticCombo, cfg);
+  EXPECT_LT(ams.activations, base.activations);
+  EXPECT_LT(combo.activations, ams.activations);
+  EXPECT_GE(ams.ipc, base.ipc);
+  EXPECT_GT(ams.coverage, 0.05);
+  EXPECT_GT(ams.app_error, 0.0);
+  EXPECT_LT(ams.app_error, 0.25);
+}
+
+}  // namespace
+}  // namespace lazydram

@@ -1,0 +1,97 @@
+// PendingQueue unit tests: arrival ordering, per-bank indexing, row-group
+// queries, erase semantics and capacity behaviour.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "dram/address.hpp"
+#include "mem/pending_queue.hpp"
+
+namespace lazydram {
+namespace {
+
+class QueueTest : public ::testing::Test {
+ protected:
+  QueueTest() : mapper_(cfg()), queue_(8, 16) {}
+
+  static GpuConfig cfg() {
+    GpuConfig c;
+    c.validate();
+    return c;
+  }
+
+  MemRequest make(RequestId id, BankId bank, RowId row, std::uint32_t col,
+                  AccessKind kind = AccessKind::kRead, bool approx = false) {
+    MemRequest r;
+    r.id = id;
+    r.line_addr = mapper_.compose(0, bank, row, col * kLineBytes);
+    r.kind = kind;
+    r.approximable = approx;
+    r.loc = mapper_.map(r.line_addr);
+    return r;
+  }
+
+  AddressMapper mapper_;
+  PendingQueue queue_;
+};
+
+TEST_F(QueueTest, OldestForBankFollowsArrivalOrder) {
+  queue_.push(make(1, 3, 5, 0));
+  queue_.push(make(2, 3, 9, 0));
+  queue_.push(make(3, 4, 2, 0));
+  EXPECT_EQ(queue_.oldest_for_bank(3)->id, 1u);
+  EXPECT_EQ(queue_.oldest_for_bank(4)->id, 3u);
+  EXPECT_EQ(queue_.oldest_for_bank(5), nullptr);
+  EXPECT_EQ(queue_.oldest()->id, 1u);
+}
+
+TEST_F(QueueTest, OldestForRowSkipsOtherRows) {
+  queue_.push(make(1, 2, 7, 0));
+  queue_.push(make(2, 2, 8, 0));
+  queue_.push(make(3, 2, 8, 1));
+  EXPECT_EQ(queue_.oldest_for_row(2, 8)->id, 2u);
+  EXPECT_EQ(queue_.oldest_for_row(2, 1), nullptr);
+}
+
+TEST_F(QueueTest, RowGroupQueries) {
+  queue_.push(make(1, 1, 4, 0, AccessKind::kRead, true));
+  queue_.push(make(2, 1, 4, 1, AccessKind::kRead, true));
+  queue_.push(make(3, 1, 4, 2, AccessKind::kWrite));
+  queue_.push(make(4, 1, 5, 0, AccessKind::kRead, false));
+
+  EXPECT_EQ(queue_.row_group_size(1, 4), 3u);
+  EXPECT_FALSE(queue_.row_group_all_reads(1, 4));
+  EXPECT_FALSE(queue_.row_group_all_approximable(1, 4));
+  EXPECT_TRUE(queue_.row_group_all_reads(1, 5));
+  EXPECT_FALSE(queue_.row_group_all_approximable(1, 5));  // Not annotated.
+}
+
+TEST_F(QueueTest, EraseRemovesFromAllIndexes) {
+  queue_.push(make(1, 6, 1, 0));
+  queue_.push(make(2, 6, 1, 1));
+  const MemRequest erased = queue_.erase(1);
+  EXPECT_EQ(erased.id, 1u);
+  EXPECT_EQ(queue_.size(), 1u);
+  EXPECT_EQ(queue_.oldest_for_bank(6)->id, 2u);
+  EXPECT_EQ(queue_.row_group_size(6, 1), 1u);
+  EXPECT_EQ(queue_.find(1), nullptr);
+  EXPECT_NE(queue_.find(2), nullptr);
+}
+
+TEST_F(QueueTest, CapacityAndFull) {
+  for (RequestId i = 1; i <= 8; ++i) queue_.push(make(i, 0, i, 0));
+  EXPECT_TRUE(queue_.full());
+  queue_.erase(4);
+  EXPECT_FALSE(queue_.full());
+  EXPECT_EQ(queue_.size(), 7u);
+}
+
+TEST_F(QueueTest, IterationIsArrivalOrdered) {
+  queue_.push(make(5, 0, 1, 0));
+  queue_.push(make(6, 9, 2, 0));
+  queue_.push(make(7, 3, 3, 0));
+  RequestId expected = 5;
+  for (const MemRequest& r : queue_) EXPECT_EQ(r.id, expected++);
+}
+
+}  // namespace
+}  // namespace lazydram

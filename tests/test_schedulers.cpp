@@ -1,0 +1,209 @@
+// Scheduler policy tests: FR-FCFS ordering, FCFS ordering, and the lazy
+// scheduler's DMS gate, AMS criteria and row-group drain behaviour.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "dram/address.hpp"
+#include "mem/fcfs.hpp"
+#include "mem/frfcfs.hpp"
+
+namespace lazydram {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : mapper_(cfg_), queue_(cfg_.pending_queue_size, cfg_.banks_per_channel) {
+    cfg_.validate();
+  }
+
+  MemRequest push(RequestId id, BankId bank, RowId row, std::uint32_t col,
+                  AccessKind kind = AccessKind::kRead, bool approx = true,
+                  Cycle enq = 0) {
+    MemRequest r;
+    r.id = id;
+    r.line_addr = mapper_.compose(0, bank, row, col * kLineBytes);
+    r.kind = kind;
+    r.approximable = approx && kind == AccessKind::kRead;
+    r.loc = mapper_.map(r.line_addr);
+    r.enqueue_cycle = enq;
+    queue_.push(r);
+    return r;
+  }
+
+  core::LazyScheduler make_lazy(const core::SchemeSpec& spec) {
+    return core::LazyScheduler(cfg_.scheme, spec, cfg_.banks_per_channel);
+  }
+
+  GpuConfig cfg_;
+  AddressMapper mapper_;
+  PendingQueue queue_;
+};
+
+TEST_F(SchedulerTest, FrFcfsPrefersRowHitOverOlderRequest) {
+  FrFcfsScheduler sched;
+  push(1, 0, 5, 0);  // Older, row 5.
+  push(2, 0, 9, 0);  // Younger, row 9 == open row.
+  const Decision d = sched.decide(queue_, BankView{0, true, 9}, 100);
+  EXPECT_EQ(d.action, Decision::Action::kServe);
+  EXPECT_EQ(d.req_id, 2u);
+}
+
+TEST_F(SchedulerTest, FrFcfsFallsBackToOldest) {
+  FrFcfsScheduler sched;
+  push(1, 0, 5, 0);
+  push(2, 0, 9, 0);
+  const Decision d = sched.decide(queue_, BankView{0, true, 7}, 100);
+  EXPECT_EQ(d.req_id, 1u);
+}
+
+TEST_F(SchedulerTest, FcfsIgnoresRowHits) {
+  FcfsScheduler sched;
+  push(1, 0, 5, 0);
+  push(2, 0, 9, 0);  // Row hit for open row 9, but younger.
+  const Decision d = sched.decide(queue_, BankView{0, true, 9}, 100);
+  EXPECT_EQ(d.req_id, 1u);
+}
+
+TEST_F(SchedulerTest, BaselineLazyMatchesFrFcfs) {
+  FrFcfsScheduler fr;
+  core::LazyScheduler lazy = make_lazy(core::SchemeSpec{});
+  push(1, 0, 5, 0);
+  push(2, 0, 9, 0);
+  push(3, 1, 2, 0);
+  for (const BankView view :
+       {BankView{0, true, 9}, BankView{0, true, 7}, BankView{0, false, kInvalidRow},
+        BankView{1, false, kInvalidRow}}) {
+    const Decision a = fr.decide(queue_, view, 50);
+    const Decision b = lazy.decide(queue_, view, 50);
+    EXPECT_EQ(a.action, b.action);
+    EXPECT_EQ(a.req_id, b.req_id);
+  }
+}
+
+TEST_F(SchedulerTest, DmsGatesYoungRowMisses) {
+  core::SchemeSpec spec = core::make_static_dms_spec(100, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  push(1, 0, 5, 0, AccessKind::kRead, true, /*enq=*/50);
+  // Age 49 at cycle 99: gated.
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 99).action,
+            Decision::Action::kNone);
+  // Age 100 at cycle 150: allowed.
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 150).action,
+            Decision::Action::kServe);
+}
+
+TEST_F(SchedulerTest, DmsNeverGatesRowHits) {
+  core::SchemeSpec spec = core::make_static_dms_spec(1000, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  push(1, 0, 9, 0, AccessKind::kRead, true, /*enq=*/90);
+  const Decision d = lazy.decide(queue_, BankView{0, true, 9}, 100);
+  EXPECT_EQ(d.action, Decision::Action::kServe);  // Hit despite age 10 < 1000.
+}
+
+TEST_F(SchedulerTest, DelayAllAblationGatesHitsToo) {
+  core::SchemeSpec spec = core::make_static_dms_spec(1000, cfg_.scheme);
+  spec.dms_delay_row_hits = true;
+  core::LazyScheduler lazy = make_lazy(spec);
+  push(1, 0, 9, 0, AccessKind::kRead, true, /*enq=*/90);
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, true, 9}, 100).action,
+            Decision::Action::kNone);
+}
+
+TEST_F(SchedulerTest, AmsDropsQualifyingLowRblGroup) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  const MemRequest r = push(1, 0, 5, 0);
+  lazy.on_enqueue(r);
+  const Decision d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100);
+  EXPECT_EQ(d.action, Decision::Action::kDrop);
+  EXPECT_EQ(d.req_id, 1u);
+}
+
+TEST_F(SchedulerTest, AmsNeverDropsBeforeL2Warmup) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);  // set_ams_ready not called.
+  const MemRequest r = push(1, 0, 5, 0);
+  lazy.on_enqueue(r);
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100).action,
+            Decision::Action::kServe);
+  EXPECT_FALSE(lazy.may_drop());
+}
+
+TEST_F(SchedulerTest, AmsRespectsThRblThreshold) {
+  core::SchemeSpec spec = core::make_static_ams_spec(2, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  // Three pending requests to the row: RBL 3 > Th_RBL 2 -> serve.
+  for (RequestId i = 1; i <= 3; ++i) lazy.on_enqueue(push(i, 0, 5, i - 1));
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100).action,
+            Decision::Action::kServe);
+}
+
+TEST_F(SchedulerTest, AmsRefusesRowsWithPendingWrites) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  lazy.on_enqueue(push(1, 0, 5, 0));
+  lazy.on_enqueue(push(2, 0, 5, 1, AccessKind::kWrite));
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100).action,
+            Decision::Action::kServe);
+}
+
+TEST_F(SchedulerTest, AmsRefusesNonApproximableReads) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  lazy.on_enqueue(push(1, 0, 5, 0, AccessKind::kRead, /*approx=*/false));
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100).action,
+            Decision::Action::kServe);
+}
+
+TEST_F(SchedulerTest, DrainDropsWholeRowGroupThenStops) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  for (RequestId i = 1; i <= 3; ++i) lazy.on_enqueue(push(i, 0, 5, i - 1));
+  lazy.on_enqueue(push(4, 0, 6, 0));
+
+  // First drop admits the group; on_drop arms the drain.
+  Decision d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100);
+  ASSERT_EQ(d.action, Decision::Action::kDrop);
+  lazy.on_drop(queue_.erase(d.req_id));
+
+  // Remaining group members drain regardless of age.
+  d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 101);
+  ASSERT_EQ(d.action, Decision::Action::kDrop);
+  EXPECT_EQ(queue_.find(d.req_id)->loc.row, 5u);
+  lazy.on_drop(queue_.erase(d.req_id));
+  d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 102);
+  ASSERT_EQ(d.action, Decision::Action::kDrop);
+  lazy.on_drop(queue_.erase(d.req_id));
+
+  // Group exhausted: the row-6 request is next and may be dropped afresh or
+  // served, but the drain for row 5 must be finished.
+  d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 103);
+  EXPECT_NE(queue_.find(d.req_id), nullptr);
+  EXPECT_EQ(queue_.find(d.req_id)->loc.row, 6u);
+}
+
+TEST_F(SchedulerTest, CoverageCapStopsFreshDrops) {
+  GpuConfig cfg = cfg_;
+  cfg.scheme.coverage_cap = 0.5;
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg.scheme);
+  core::LazyScheduler lazy(cfg.scheme, spec, cfg.banks_per_channel);
+  lazy.set_ams_ready(true);
+  lazy.on_enqueue(push(1, 0, 5, 0));
+  lazy.on_enqueue(push(2, 0, 6, 0));
+
+  Decision d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 10);
+  ASSERT_EQ(d.action, Decision::Action::kDrop);
+  lazy.on_drop(queue_.erase(d.req_id));
+  // Coverage now 1/2 = cap: next candidate must be served, not dropped.
+  d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 11);
+  EXPECT_EQ(d.action, Decision::Action::kServe);
+}
+
+}  // namespace
+}  // namespace lazydram

@@ -1,0 +1,100 @@
+// Value-predictor tests: nearest-address donor selection, radius limits,
+// zero-fill fallback and the zero-fill ablation predictor.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "core/value_predictor.hpp"
+#include "gpu/functional_memory.hpp"
+
+namespace lazydram::core {
+namespace {
+
+class VpTest : public ::testing::Test {
+ protected:
+  VpTest() : l2_(GpuConfig{}.l2) {}
+
+  void put_line(Addr line, float value) {
+    l2_.fill(line, false, false);
+    for (unsigned i = 0; i < kF32(); ++i)
+      fmem_.image().write_f32(line + 4 * i, value);
+  }
+
+  static unsigned kF32() { return kLineBytes / 4; }
+
+  float first_float(const ValuePredictor::Prediction& p) {
+    float v;
+    std::memcpy(&v, p.data.data(), 4);
+    return v;
+  }
+
+  cache::Cache l2_;
+  gpu::FunctionalMemory fmem_;
+};
+
+TEST_F(VpTest, PicksNearestAddressDonor) {
+  ValuePredictor vp(l2_, fmem_, /*radius=*/4);
+  const Addr target = 1000 * kLineBytes;
+  // Donor candidates: one 2 lines away, one 1 line away (both same set
+  // neighbourhood because sets advance per line).
+  put_line(target + 2 * kLineBytes, 7.0f);
+  put_line(target - kLineBytes, 3.0f);
+  const auto p = vp.predict(target);
+  EXPECT_TRUE(p.donor_found);
+  EXPECT_EQ(p.donor_addr, target - kLineBytes);
+  EXPECT_FLOAT_EQ(first_float(p), 3.0f);
+}
+
+TEST_F(VpTest, IgnoresTheDroppedLineItself) {
+  ValuePredictor vp(l2_, fmem_, 4);
+  const Addr target = 500 * kLineBytes;
+  put_line(target, 9.0f);  // Stale copy of the target itself.
+  put_line(target + kLineBytes, 4.0f);
+  const auto p = vp.predict(target);
+  EXPECT_EQ(p.donor_addr, target + kLineBytes);
+}
+
+TEST_F(VpTest, ZeroFillWhenNearbySetsEmpty) {
+  ValuePredictor vp(l2_, fmem_, 1);
+  const auto p = vp.predict(123 * kLineBytes);
+  EXPECT_FALSE(p.donor_found);
+  EXPECT_FLOAT_EQ(first_float(p), 0.0f);
+  EXPECT_EQ(vp.zero_fills(), 1u);
+}
+
+TEST_F(VpTest, RadiusBoundsTheSearch) {
+  ValuePredictor vp(l2_, fmem_, /*radius=*/1);
+  const Addr target = 2000 * kLineBytes;
+  // Donor 5 sets away: outside radius 1.
+  put_line(target + 5 * kLineBytes, 5.0f);
+  EXPECT_FALSE(vp.predict(target).donor_found);
+  // Donor 1 set away: inside.
+  put_line(target + kLineBytes, 6.0f);
+  EXPECT_TRUE(vp.predict(target).donor_found);
+}
+
+TEST_F(VpTest, ZeroFillPredictorAblation) {
+  ValuePredictor vp(l2_, fmem_, 4, PredictorKind::kZeroFill);
+  put_line(300 * kLineBytes + kLineBytes, 8.0f);
+  const auto p = vp.predict(300 * kLineBytes);
+  EXPECT_FALSE(p.donor_found);
+  EXPECT_FLOAT_EQ(first_float(p), 0.0f);
+}
+
+TEST_F(VpTest, DonorBytesComeThroughTheOverlay) {
+  // If the donor line was itself approximated, the VP must read the
+  // approximate (overlay) bytes — that is what the cache holds.
+  ValuePredictor vp(l2_, fmem_, 4);
+  const Addr donor = 800 * kLineBytes;
+  put_line(donor, 2.0f);
+  std::array<std::uint8_t, kLineBytes> approx{};
+  const float five = 5.0f;
+  for (unsigned i = 0; i < kLineBytes; i += 4) std::memcpy(&approx[i], &five, 4);
+  fmem_.record_approx_line(donor, approx.data());
+  const auto p = vp.predict(donor + kLineBytes);
+  EXPECT_EQ(p.donor_addr, donor);
+  EXPECT_FLOAT_EQ(first_float(p), 5.0f);
+}
+
+}  // namespace
+}  // namespace lazydram::core
