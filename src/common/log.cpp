@@ -1,11 +1,33 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace lazydram {
 
 namespace {
-LogLevel g_level = LogLevel::kSilent;
+LogLevel g_level = LogLevel::kWarn;
+bool g_level_set = false;
+
+LogLevel level_from_env() {
+  const char* v = std::getenv("LAZYDRAM_LOG");
+  if (v == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(v, "silent") == 0 || std::strcmp(v, "0") == 0) return LogLevel::kSilent;
+  if (std::strcmp(v, "warn") == 0 || std::strcmp(v, "1") == 0) return LogLevel::kWarn;
+  if (std::strcmp(v, "info") == 0 || std::strcmp(v, "2") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "debug") == 0 || std::strcmp(v, "3") == 0) return LogLevel::kDebug;
+  std::fprintf(stderr, "[lazydram:warn] unknown LAZYDRAM_LOG value '%s' (want silent|warn|info|debug)\n", v);
+  return LogLevel::kWarn;
+}
+
+LogLevel effective_level() {
+  if (!g_level_set) {
+    g_level = level_from_env();
+    g_level_set = true;
+  }
+  return g_level;
+}
 
 void vlog(const char* prefix, const char* fmt, va_list args) {
   std::fputs(prefix, stderr);
@@ -14,11 +36,23 @@ void vlog(const char* prefix, const char* fmt, va_list args) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level = level;
+  g_level_set = true;
+}
+
+LogLevel log_level() { return effective_level(); }
+
+void log_warn(const char* fmt, ...) {
+  if (effective_level() < LogLevel::kWarn) return;
+  va_list args;
+  va_start(args, fmt);
+  vlog("[lazydram:warn] ", fmt, args);
+  va_end(args);
+}
 
 void log_info(const char* fmt, ...) {
-  if (g_level < LogLevel::kInfo) return;
+  if (effective_level() < LogLevel::kInfo) return;
   va_list args;
   va_start(args, fmt);
   vlog("[lazydram] ", fmt, args);
@@ -26,7 +60,7 @@ void log_info(const char* fmt, ...) {
 }
 
 void log_debug(const char* fmt, ...) {
-  if (g_level < LogLevel::kDebug) return;
+  if (effective_level() < LogLevel::kDebug) return;
   va_list args;
   va_start(args, fmt);
   vlog("[lazydram:debug] ", fmt, args);

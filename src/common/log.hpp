@@ -1,17 +1,21 @@
-// Minimal leveled logging. Off by default so benches print only their tables;
-// tests and debugging sessions can raise the level per-process.
+// Minimal leveled logging. Warnings are on by default (misconfiguration must
+// not fail silently); info/debug are off so benches print only their tables.
+// The level can be raised per-process with set_log_level() or the
+// LAZYDRAM_LOG environment variable (silent|warn|info|debug), parsed once at
+// first use.
 #pragma once
 
 #include <cstdarg>
 
 namespace lazydram {
 
-enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+enum class LogLevel { kSilent = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// printf-style; a newline is appended.
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,6 +1,21 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
+
 namespace lazydram {
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the sample we are after, 1-based; p = 0 means the first sample.
+  const double target = p * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (std::uint64_t k = 0; k <= max_key_; ++k) {
+    cumulative += buckets_[k];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) return k;
+  }
+  return max_key_ + 1;  // The requested rank fell into the overflow bucket.
+}
 
 double StatRegistry::get(const std::string& name) const {
   const auto it = values_.find(name);

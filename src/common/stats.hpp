@@ -40,9 +40,10 @@ class Histogram {
     weighted_sum_ += key * count;
   }
 
-  /// Count recorded at exactly `key` (keys > max_key are pooled).
+  /// Count recorded at exactly `key` (keys > max_key are pooled); querying
+  /// `max_key() + 1` returns the overflow bucket.
   std::uint64_t at(std::uint64_t key) const {
-    LD_ASSERT(key <= max_key_);
+    LD_ASSERT(key <= max_key_ + 1);
     return buckets_[key];
   }
 
@@ -56,6 +57,14 @@ class Histogram {
   std::uint64_t overflow() const { return buckets_[max_key_ + 1]; }
   std::uint64_t total() const { return total_; }
   std::uint64_t max_key() const { return max_key_; }
+
+  /// Number of addressable buckets: keys 0..max_key plus the overflow bucket.
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Smallest key whose cumulative count reaches fraction `p` of the total
+  /// (p clamped to [0, 1]). Samples pooled in the overflow bucket report
+  /// `max_key() + 1`. An empty histogram reports 0.
+  std::uint64_t percentile(double p) const;
 
   /// Mean of recorded keys (overflowed samples contribute their true key to
   /// the weighted sum, so the mean remains exact).

@@ -19,6 +19,7 @@ void AmsUnit::tick(Cycle now_mem, bool halted) {
   if (window_reads_ > 0) {
     const double window_coverage =
         static_cast<double>(window_drops_) / static_cast<double>(window_reads_);
+    const unsigned th_before = th_rbl_;
     // The cumulative cap gates drops at exactly the target, so a window that
     // "achieves the user-defined coverage" sits marginally below it; the 5%
     // slack keeps the comparison from sticking at that boundary.
@@ -27,6 +28,8 @@ void AmsUnit::tick(Cycle now_mem, bool halted) {
     } else {
       if (th_rbl_ < params_.max_th_rbl) ++th_rbl_;
     }
+    if (tracer_ != nullptr && th_rbl_ != th_before)
+      tracer_->ams_threshold_change(now_mem, channel_, th_before, th_rbl_, window_coverage);
   }
   window_start_ = now_mem;
   window_reads_ = 0;

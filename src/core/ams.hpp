@@ -22,6 +22,7 @@
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "mem/pending_queue.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lazydram::core {
 
@@ -62,6 +63,12 @@ class AmsUnit {
   std::uint64_t reads_received() const { return reads_received_; }
   std::uint64_t reads_dropped() const { return reads_dropped_; }
 
+  /// Emits kAmsThresholdChange events through `tracer` (nullable to detach).
+  void set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {
+    tracer_ = tracer;
+    channel_ = channel;
+  }
+
  private:
   SchemeParams params_;
   bool dynamic_;
@@ -76,6 +83,9 @@ class AmsUnit {
   Cycle window_start_ = 0;
   std::uint64_t window_reads_ = 0;
   std::uint64_t window_drops_ = 0;
+
+  telemetry::Tracer* tracer_ = nullptr;
+  ChannelId channel_ = 0;
 };
 
 }  // namespace lazydram::core

@@ -34,7 +34,10 @@ void DmsUnit::tick(Cycle now_mem, std::uint64_t bus_busy_total) {
   window_start_ = now_mem;
   busy_at_window_start_ = bus_busy_total;
   last_window_bwutil_ = bwutil;
+  const Cycle delay_before = current_delay_;
   on_window_end(bwutil);
+  if (tracer_ != nullptr && current_delay_ != delay_before)
+    tracer_->dms_delay_change(now_mem, channel_, delay_before, current_delay_, bwutil);
 }
 
 void DmsUnit::on_window_end(double window_bwutil) {

@@ -22,6 +22,7 @@
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lazydram::core {
 
@@ -54,6 +55,12 @@ class DmsUnit {
   double last_baseline_bwutil() const { return baseline_bwutil_; }
   double last_window_bwutil() const { return last_window_bwutil_; }
 
+  /// Emits kDmsDelayChange events through `tracer` (nullable to detach).
+  void set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {
+    tracer_ = tracer;
+    channel_ = channel;
+  }
+
  private:
   enum class Phase { kWarmup, kSampling, kSearching, kHolding };
   enum class Direction { kUp, kDown };
@@ -76,6 +83,9 @@ class DmsUnit {
   Cycle window_start_ = 0;
   std::uint64_t busy_at_window_start_ = 0;
   unsigned windows_since_restart_ = 0;
+
+  telemetry::Tracer* tracer_ = nullptr;
+  ChannelId channel_ = 0;
 };
 
 }  // namespace lazydram::core

@@ -39,9 +39,16 @@ Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
 
   // 2. Oldest request for this bank is the row-miss candidate.
   const MemRequest* cand = queue.oldest_for_bank(bank.bank);
-  if (cand == nullptr) return Decision::none();
+  if (cand == nullptr) {
+    trace_stall_end(bank.bank, now);
+    return Decision::none();
+  }
 
-  if (spec_.dms_enabled && !dms_.allows(cand->enqueue_cycle, now)) return Decision::none();
+  if (spec_.dms_enabled && !dms_.allows(cand->enqueue_cycle, now)) {
+    trace_stall_begin(bank.bank, cand->id, now);
+    return Decision::none();
+  }
+  trace_stall_end(bank.bank, now);
 
   // 3. AMS drop decision (criteria 1, 3, 4; criterion 2 was the age gate).
   if (spec_.ams_enabled && ams_.should_drop(queue, *cand)) return Decision::drop(cand->id);
@@ -84,5 +91,30 @@ void LazyScheduler::on_drop(const MemRequest& req) {
 }
 
 void LazyScheduler::set_ams_ready(bool ready) { ams_.set_ready(ready); }
+
+void LazyScheduler::set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {
+  tracer_ = tracer;
+  channel_ = channel;
+  if (tracer_ != nullptr) stalled_.assign(draining_.size(), 0);
+  dms_.set_telemetry(tracer, channel);
+  ams_.set_telemetry(tracer, channel);
+}
+
+void LazyScheduler::trace_stall_begin(BankId bank, RequestId req, Cycle now) {
+  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] != 0) return;
+  stalled_[bank] = 1;
+  tracer_->dms_stall_begin(now, channel_, bank, req, dms_.current_delay());
+}
+
+void LazyScheduler::trace_stall_end(BankId bank, Cycle now) {
+  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] == 0) return;
+  stalled_[bank] = 0;
+  tracer_->dms_stall_end(now, channel_, bank);
+}
+
+void LazyScheduler::fill_probe(telemetry::WindowProbe& probe) const {
+  probe.dms_delay = spec_.dms_enabled ? dms_.current_delay() : 0;
+  probe.th_rbl = spec_.ams_enabled ? ams_.th_rbl() : 0;
+}
 
 }  // namespace lazydram::core

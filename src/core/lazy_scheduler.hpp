@@ -41,6 +41,13 @@ class LazyScheduler : public Scheduler {
   /// L2 warm-up gate for the AMS unit (set by the owning memory partition).
   void set_ams_ready(bool ready);
 
+  /// Routes DMS-stall, delay-change and Th_RBL-change events through
+  /// `tracer` (nullable to detach). Tracing never feeds back into
+  /// scheduling decisions, so enabling it cannot perturb a run.
+  void set_telemetry(telemetry::Tracer* tracer, ChannelId channel);
+
+  void fill_probe(telemetry::WindowProbe& probe) const override;
+
   const SchemeSpec& spec() const { return spec_; }
   const DmsUnit& dms() const { return dms_; }
   const AmsUnit& ams() const { return ams_; }
@@ -55,6 +62,9 @@ class LazyScheduler : public Scheduler {
   }
 
  private:
+  void trace_stall_begin(BankId bank, RequestId req, Cycle now);
+  void trace_stall_end(BankId bank, Cycle now);
+
   SchemeSpec spec_;
   DmsUnit dms_;
   AmsUnit ams_;
@@ -72,6 +82,12 @@ class LazyScheduler : public Scheduler {
   std::uint64_t ticks_ = 0;
   double delay_sum_ = 0.0;
   double th_rbl_sum_ = 0.0;
+
+  telemetry::Tracer* tracer_ = nullptr;
+  ChannelId channel_ = 0;
+  /// Per-bank "currently age-gated" flag for stall begin/end events. Only
+  /// touched when tracing is enabled; never consulted for decisions.
+  std::vector<std::uint8_t> stalled_;
 };
 
 }  // namespace lazydram::core

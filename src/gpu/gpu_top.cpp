@@ -5,7 +5,8 @@
 namespace lazydram::gpu {
 
 GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
-               const SchedulerFactory& factory, RowPolicy row_policy)
+               const SchedulerFactory& factory, RowPolicy row_policy,
+               telemetry::Telemetry* telemetry)
     : cfg_(cfg),
       workload_(workload),
       mapper_(cfg),
@@ -27,13 +28,19 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
                 "workload grid exceeds one wave of resident warps");
   for (unsigned w = 0; w < warps; ++w) sms_[w % cfg.num_sms]->assign_warp(w);
 
+  if (telemetry != nullptr) tracer_ = &telemetry->tracer();
+
   partitions_.reserve(cfg.num_channels);
   for (ChannelId ch = 0; ch < cfg.num_channels; ++ch) {
     Partition& p = partitions_.emplace_back(cfg.l2);
     std::unique_ptr<Scheduler> sched = factory(ch);
     p.lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
+    if (tracer_ != nullptr && p.lazy != nullptr) p.lazy->set_telemetry(tracer_, ch);
     p.mc = std::make_unique<MemoryController>(cfg_, ch, mapper_, std::move(sched),
                                               row_policy);
+    if (tracer_ != nullptr) p.mc->set_tracer(tracer_);
+    if (telemetry != nullptr && telemetry->window_sampling())
+      p.mc->enable_window_sampling(cfg.scheme.profile_window, tracer_);
     p.vp = std::make_unique<core::ValuePredictor>(
         p.l2, fmem_, cfg.scheme.vp_set_radius,
         cfg.scheme.vp_zero_fill ? core::PredictorKind::kZeroFill
@@ -158,6 +165,9 @@ void GpuTop::partition_tick(Partition& p, unsigned idx, bool mem_ticked) {
       // from the nearest valid line in nearby L2 sets (Section IV-D).
       core::ValuePredictor::Prediction pred = p.vp->predict(reply->line_addr);
       fmem_.record_approx_line(reply->line_addr, pred.data.data());
+      if (tracer_ != nullptr)
+        tracer_->vp_prediction(mem_now_, static_cast<ChannelId>(idx), reply->line_addr,
+                               pred.donor_found, pred.donor_addr);
     }
 
     const cache::AccessResult fill =
@@ -209,6 +219,78 @@ void GpuTop::step() {
   reply_xbar_.tick(core_cycle_);
   for (SmId s = 0; s < sms_.size(); ++s)
     while (auto pkt = reply_xbar_.pop(s, core_cycle_)) sms_[s]->on_reply(*pkt);
+}
+
+void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
+  using telemetry::channel_stat;
+
+  hub.add_counter("gpu.core_cycles", [this] { return core_cycles(); });
+  hub.add_counter("gpu.mem_cycles", [this] { return mem_cycles(); });
+  hub.add_counter("gpu.instructions", [this] { return instructions(); });
+  hub.add_gauge("gpu.ipc", [this] { return ipc(); });
+
+  for (ChannelId ch = 0; ch < num_channels(); ++ch) {
+    const MemoryController* mc = partitions_[ch].mc.get();
+    hub.add_counter(channel_stat("mem", ch, "reads_received"),
+                    [mc] { return mc->reads_received(); });
+    hub.add_counter(channel_stat("mem", ch, "writes_received"),
+                    [mc] { return mc->writes_received(); });
+    hub.add_counter(channel_stat("mem", ch, "reads_served"),
+                    [mc] { return mc->reads_served(); });
+    hub.add_counter(channel_stat("mem", ch, "writes_served"),
+                    [mc] { return mc->writes_served(); });
+    hub.add_counter(channel_stat("mem", ch, "reads_dropped"),
+                    [mc] { return mc->reads_dropped(); });
+    hub.add_counter(channel_stat("mem", ch, "read_latency_count"),
+                    [mc] { return mc->read_latency().count(); });
+    hub.add_gauge(channel_stat("mem", ch, "read_latency_mean"),
+                  [mc] { return mc->read_latency().mean(); });
+
+    const dram::DramChannel* dc = &mc->channel();
+    hub.add_counter(channel_stat("dram", ch, "activations"),
+                    [dc] { return dc->activations(); });
+    hub.add_counter(channel_stat("dram", ch, "column_reads"),
+                    [dc] { return dc->energy().read_accesses(); });
+    hub.add_counter(channel_stat("dram", ch, "column_writes"),
+                    [dc] { return dc->energy().write_accesses(); });
+    hub.add_counter(channel_stat("dram", ch, "bus_busy_cycles"),
+                    [dc] { return dc->bus_busy_cycles(); });
+    hub.add_gauge(channel_stat("dram", ch, "row_energy_nj"),
+                  [dc] { return dc->energy().row_energy_nj(); });
+    hub.add_gauge(channel_stat("dram", ch, "access_energy_nj"),
+                  [dc] { return dc->energy().access_energy_nj(); });
+    hub.add_histogram(channel_stat("dram", ch, "rbl"), &dc->rbl_histogram());
+    hub.add_histogram(channel_stat("dram", ch, "rbl_readonly"),
+                      &dc->rbl_readonly_histogram());
+
+    const cache::Cache* l2 = &partitions_[ch].l2;
+    hub.add_counter(channel_stat("cache.l2", ch, "hits"), [l2] { return l2->hits(); });
+    hub.add_counter(channel_stat("cache.l2", ch, "misses"), [l2] { return l2->misses(); });
+    hub.add_counter(channel_stat("cache.l2", ch, "accesses"),
+                    [l2] { return l2->accesses(); });
+    hub.add_counter(channel_stat("cache.l2", ch, "fills"), [l2] { return l2->fills(); });
+
+    const core::ValuePredictor* vp = partitions_[ch].vp.get();
+    hub.add_counter(channel_stat("core", ch, "vp.predictions"),
+                    [vp] { return vp->predictions(); });
+    hub.add_counter(channel_stat("core", ch, "vp.zero_fills"),
+                    [vp] { return vp->zero_fills(); });
+
+    if (const core::LazyScheduler* lz = partitions_[ch].lazy) {
+      hub.add_gauge(channel_stat("core", ch, "dms.delay"),
+                    [lz] { return static_cast<double>(lz->dms().current_delay()); });
+      hub.add_gauge(channel_stat("core", ch, "dms.avg_delay"),
+                    [lz] { return lz->average_delay(); });
+      hub.add_gauge(channel_stat("core", ch, "ams.th_rbl"),
+                    [lz] { return static_cast<double>(lz->ams().th_rbl()); });
+      hub.add_gauge(channel_stat("core", ch, "ams.avg_th_rbl"),
+                    [lz] { return lz->average_th_rbl(); });
+      hub.add_gauge(channel_stat("core", ch, "ams.coverage"),
+                    [lz] { return lz->ams().coverage(); });
+      hub.add_counter(channel_stat("core", ch, "ams.reads_dropped"),
+                      [lz] { return lz->ams().reads_dropped(); });
+    }
+  }
 }
 
 bool GpuTop::run(Cycle max_core_cycles) {

@@ -25,6 +25,7 @@
 #include "gpu/sm.hpp"
 #include "icnt/crossbar.hpp"
 #include "mem/controller.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lazydram::gpu {
 
@@ -35,8 +36,13 @@ class GpuTop {
   /// (plain FR-FCFS, FCFS) run without it.
   using SchedulerFactory = std::function<std::unique_ptr<Scheduler>(ChannelId)>;
 
+  /// `telemetry` (nullable) attaches the observability layer: its tracer is
+  /// wired into every controller/scheduler, and window sampling is enabled
+  /// on each channel when requested. Purely observational — a run's
+  /// RunMetrics are bit-identical with or without it.
   GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
-         const SchedulerFactory& factory, RowPolicy row_policy = RowPolicy::kOpenRow);
+         const SchedulerFactory& factory, RowPolicy row_policy = RowPolicy::kOpenRow,
+         telemetry::Telemetry* telemetry = nullptr);
 
   /// Runs until the workload finishes and the memory system drains, or
   /// `max_core_cycles` elapse. Returns true iff it finished.
@@ -67,6 +73,11 @@ class GpuTop {
   const AddressMapper& mapper() const { return mapper_; }
   const Sm& sm(SmId id) const { return *sms_[id]; }
   unsigned num_sms() const { return static_cast<unsigned>(sms_.size()); }
+
+  /// Registers every component's counters/gauges/histograms into `hub`
+  /// under hierarchical names ("dram.ch0.activations", "core.ch1.dms.delay",
+  /// ...). The hub must not outlive this GpuTop.
+  void register_stats(telemetry::TelemetryHub& hub) const;
 
  private:
   struct PendingReply {
@@ -108,6 +119,7 @@ class GpuTop {
   Cycle core_cycle_ = 0;
   Cycle mem_now_ = 0;
   RequestId next_request_id_ = 1;
+  telemetry::Tracer* tracer_ = nullptr;  ///< Borrowed; null when detached.
 
   /// Caps on per-core-cycle partition work (ports).
   static constexpr unsigned kInputsPerCycle = 2;

@@ -78,6 +78,7 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
 
   if (!dram_.can_issue(CommandKind::kActivate, b, now)) return false;
   dram_.issue(CommandKind::kActivate, b, req.loc.row, now);
+  if (tracer_ != nullptr) tracer_->row_activate(now, id_, b, req.loc.row);
   return true;
 }
 
@@ -129,12 +130,18 @@ void MemoryController::tick(Cycle now_mem) {
     LD_ASSERT_MSG(dropped.is_read(), "AMS must only drop reads");
     ++reads_dropped_;
     scheduler_->on_drop(dropped);
+    if (tracer_ != nullptr)
+      tracer_->row_group_drop(now_mem, id_, dropped.loc.bank, dropped.loc.row, dropped.id);
     replies_.push_back(MemReply{dropped.id, dropped.line_addr, dropped.src_sm,
                                 /*approximate=*/true, now_mem});
     break;
   }
 
   issue_one_command(now_mem);
+
+  // The sampler observes the cycle last, so its probe reflects everything
+  // issued up to and including `now_mem`. Read-only: cannot perturb the run.
+  if (sampler_ != nullptr) sampler_->tick(now_mem, telemetry_probe());
 }
 
 std::optional<MemReply> MemoryController::pop_reply(Cycle now_mem) {
@@ -144,6 +151,27 @@ std::optional<MemReply> MemoryController::pop_reply(Cycle now_mem) {
   return r;
 }
 
-void MemoryController::finalize() { dram_.flush_open_rows(); }
+void MemoryController::finalize() {
+  dram_.flush_open_rows();
+  if (sampler_ != nullptr) sampler_->flush(telemetry_probe());
+}
+
+void MemoryController::enable_window_sampling(Cycle window, telemetry::Tracer* tracer) {
+  sampler_ = std::make_unique<telemetry::WindowSampler>(id_, window, tracer);
+}
+
+telemetry::WindowProbe MemoryController::telemetry_probe() const {
+  telemetry::WindowProbe p;
+  p.bus_busy_cycles = dram_.bus_busy_cycles();
+  p.activations = dram_.activations();
+  p.column_reads = dram_.energy().read_accesses();
+  p.column_writes = dram_.energy().write_accesses();
+  p.reads_dropped = reads_dropped_;
+  p.reads_received = reads_received_;
+  p.energy_nj = dram_.energy().total_energy_nj();
+  p.queue_size = queue_.size();
+  scheduler_->fill_probe(p);
+  return p;
+}
 
 }  // namespace lazydram

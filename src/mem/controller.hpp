@@ -26,6 +26,8 @@
 #include "mem/pending_queue.hpp"
 #include "mem/request.hpp"
 #include "mem/scheduler.hpp"
+#include "telemetry/trace.hpp"
+#include "telemetry/window_sampler.hpp"
 
 namespace lazydram {
 
@@ -66,8 +68,25 @@ class MemoryController {
   std::uint64_t reads_dropped() const { return reads_dropped_; }
   const Summary& read_latency() const { return read_latency_; }
 
-  /// Ends the run: folds still-open rows into the RBL histograms.
+  /// Ends the run: folds still-open rows into the RBL histograms and closes
+  /// the sampler's final partial window.
   void finalize();
+
+  // --- Telemetry (all optional; disabled costs one null check per tick) ---
+
+  /// Routes row-activation and row-group-drop events through `tracer`
+  /// (nullable to detach).
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Starts per-window sampling of this channel (window in memory cycles).
+  /// `tracer` may be null; samples are then only kept in memory.
+  void enable_window_sampling(Cycle window, telemetry::Tracer* tracer);
+
+  /// The window series recorded so far, or nullptr when sampling is off.
+  const telemetry::WindowSampler* sampler() const { return sampler_.get(); }
+
+  /// Snapshot of this channel's cumulative counters + policy gauges.
+  telemetry::WindowProbe telemetry_probe() const;
 
  private:
   struct InFlight {
@@ -102,6 +121,9 @@ class MemoryController {
   std::uint64_t writes_served_ = 0;
   std::uint64_t reads_dropped_ = 0;
   Summary read_latency_;
+
+  telemetry::Tracer* tracer_ = nullptr;
+  std::unique_ptr<telemetry::WindowSampler> sampler_;
 };
 
 }  // namespace lazydram

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "mem/pending_queue.hpp"
+#include "telemetry/window_sampler.hpp"
 
 namespace lazydram {
 
@@ -65,6 +66,10 @@ class Scheduler {
 
   /// Notification: a request left the queue because AMS dropped it.
   virtual void on_drop(const MemRequest& req) { (void)req; }
+
+  /// Contributes policy-side gauges (DMS delay, Th_RBL, ...) to a windowed
+  /// telemetry probe. Plain policies have nothing to add.
+  virtual void fill_probe(telemetry::WindowProbe& probe) const { (void)probe; }
 };
 
 }  // namespace lazydram

@@ -12,15 +12,26 @@ double RunMetrics::request_share_with_rbl(std::uint64_t lo, std::uint64_t hi) co
 }
 
 RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& workload,
-                           const std::string& scheme_name, bool compute_error) {
+                           const std::string& scheme_name, bool compute_error,
+                           const telemetry::TelemetryHub* hub_in) {
+  using telemetry::channel_stat;
+
+  // All per-component values flow through the stat registry; callers that
+  // already hold a populated hub (sim::simulate) pass it in, everyone else
+  // gets a local registration. Counter sums are exact, so the result is
+  // bit-identical either way.
+  telemetry::TelemetryHub local;
+  if (hub_in == nullptr) gpu.register_stats(local);
+  const telemetry::TelemetryHub& hub = hub_in != nullptr ? *hub_in : local;
+
   RunMetrics m;
   m.workload = workload.name();
   m.scheme = scheme_name;
   m.finished = gpu.finished();
-  m.core_cycles = gpu.core_cycles();
-  m.mem_cycles = gpu.mem_cycles();
-  m.instructions = gpu.instructions();
-  m.ipc = gpu.ipc();
+  m.core_cycles = hub.counter("gpu.core_cycles");
+  m.mem_cycles = hub.counter("gpu.mem_cycles");
+  m.instructions = hub.counter("gpu.instructions");
+  m.ipc = hub.gauge("gpu.ipc");
 
   std::uint64_t bus_busy = 0;
   double latency_weighted = 0.0;
@@ -30,34 +41,34 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
   unsigned lazy_channels = 0;
 
   for (ChannelId ch = 0; ch < gpu.num_channels(); ++ch) {
-    const MemoryController& mc = gpu.controller(ch);
-    const dram::DramChannel& dc = mc.channel();
+    m.activations += hub.counter(channel_stat("dram", ch, "activations"));
+    m.dram_reads += hub.counter(channel_stat("dram", ch, "column_reads"));
+    m.dram_writes += hub.counter(channel_stat("dram", ch, "column_writes"));
+    m.drops += hub.counter(channel_stat("mem", ch, "reads_dropped"));
+    m.reads_received += hub.counter(channel_stat("mem", ch, "reads_received"));
+    m.row_energy_nj += hub.gauge(channel_stat("dram", ch, "row_energy_nj"));
+    m.access_energy_nj += hub.gauge(channel_stat("dram", ch, "access_energy_nj"));
+    bus_busy += hub.counter(channel_stat("dram", ch, "bus_busy_cycles"));
 
-    m.activations += dc.activations();
-    m.dram_reads += dc.energy().read_accesses();
-    m.dram_writes += dc.energy().write_accesses();
-    m.drops += mc.reads_dropped();
-    m.reads_received += mc.reads_received();
-    m.row_energy_nj += dc.energy().row_energy_nj();
-    m.access_energy_nj += dc.energy().access_energy_nj();
-    bus_busy += dc.bus_busy_cycles();
+    const Histogram& h = hub.histogram(channel_stat("dram", ch, "rbl"));
+    for (std::uint64_t k = 0; k < h.bucket_count(); ++k) m.rbl_hist.add(k, h.at(k));
+    const Histogram& hr = hub.histogram(channel_stat("dram", ch, "rbl_readonly"));
+    for (std::uint64_t k = 0; k < hr.bucket_count(); ++k)
+      m.rbl_readonly_hist.add(k, hr.at(k));
 
-    const Histogram& h = dc.rbl_histogram();
-    for (std::uint64_t k = 0; k <= h.max_key(); ++k) m.rbl_hist.add(k, h.at(k));
-    m.rbl_hist.add(h.max_key() + 1, h.overflow());
-    const Histogram& hr = dc.rbl_readonly_histogram();
-    for (std::uint64_t k = 0; k <= hr.max_key(); ++k) m.rbl_readonly_hist.add(k, hr.at(k));
-    m.rbl_readonly_hist.add(hr.max_key() + 1, hr.overflow());
+    const std::uint64_t lat_count =
+        hub.counter(channel_stat("mem", ch, "read_latency_count"));
+    latency_weighted += hub.gauge(channel_stat("mem", ch, "read_latency_mean")) *
+                        static_cast<double>(lat_count);
+    latency_count += lat_count;
 
-    latency_weighted += mc.read_latency().mean() * static_cast<double>(mc.read_latency().count());
-    latency_count += mc.read_latency().count();
+    l2_hits += hub.counter(channel_stat("cache.l2", ch, "hits"));
+    l2_accesses += hub.counter(channel_stat("cache.l2", ch, "accesses"));
 
-    l2_hits += gpu.l2(ch).hits();
-    l2_accesses += gpu.l2(ch).accesses();
-
-    if (const core::LazyScheduler* lazy = gpu.lazy(ch)) {
-      delay_weight += lazy->average_delay();
-      th_weight += lazy->average_th_rbl();
+    const std::string avg_delay_stat = channel_stat("core", ch, "dms.avg_delay");
+    if (hub.has_gauge(avg_delay_stat)) {
+      delay_weight += hub.gauge(avg_delay_stat);
+      th_weight += hub.gauge(channel_stat("core", ch, "ams.avg_th_rbl"));
       ++lazy_channels;
     }
   }

@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "gpu/gpu_top.hpp"
+#include "telemetry/hub.hpp"
 #include "workloads/workload.hpp"
 
 namespace lazydram::sim {
@@ -54,10 +55,14 @@ struct RunMetrics {
   double request_share_with_rbl(std::uint64_t lo, std::uint64_t hi) const;
 };
 
-/// Gathers metrics from a finished run. Application error is computed only
-/// when requested AND at least one line was approximated (it requires two
-/// functional executions of the workload).
+/// Gathers metrics from a finished run through the telemetry stat registry.
+/// Pass `hub` when the caller already registered the GpuTop's stats (so one
+/// registry serves metrics, reports and tests); with nullptr a local
+/// registration is used. Application error is computed only when requested
+/// AND at least one line was approximated (it requires two functional
+/// executions of the workload).
 RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& workload,
-                           const std::string& scheme_name, bool compute_error);
+                           const std::string& scheme_name, bool compute_error,
+                           const telemetry::TelemetryHub* hub = nullptr);
 
 }  // namespace lazydram::sim

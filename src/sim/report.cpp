@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "common/log.hpp"
 #include "workloads/registry.hpp"
 
 namespace lazydram::sim {
@@ -25,6 +27,8 @@ double mean(const std::vector<double>& values) {
 double ratio(double value, double base) { return base == 0.0 ? 0.0 : value / base; }
 
 void print_bench_header(const std::string& experiment, const std::string& paper_result) {
+  log_level();  // Resolve LAZYDRAM_LOG up front so a typo in it warns even
+                // if the run never logs.
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("Paper reports: %s\n", paper_result.c_str());
@@ -40,6 +44,19 @@ std::vector<std::string> bench_workloads() {
   if (full_sweep_requested()) return workloads::all_workload_names();
   // Representative subset: every group, every feature level represented.
   return {"SCP", "LPS", "GEMM", "MVT", "RAY", "FWT", "3MM", "blackscholes"};
+}
+
+std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      log_warn("--json given without a path; ignoring");
+      break;
+    }
+    return argv[i + 1];
+  }
+  const char* env = std::getenv("LAZYDRAM_JSON");
+  return env == nullptr ? std::string{} : std::string{env};
 }
 
 }  // namespace lazydram::sim

@@ -30,4 +30,10 @@ bool full_sweep_requested();
 /// representative subset spanning all four groups and feature levels.
 std::vector<std::string> bench_workloads();
 
+/// Where a bench should write its machine-readable JSON output: the value of
+/// a `--json <path>` argument if present, else $LAZYDRAM_JSON, else "" (no
+/// JSON output requested). A trailing `--json` with no path warns and is
+/// ignored.
+std::string json_output_path(int argc, char** argv);
+
 }  // namespace lazydram::sim

@@ -1,0 +1,131 @@
+#include "sim/run_report.hpp"
+
+#include "common/log.hpp"
+#include "telemetry/json.hpp"
+
+namespace lazydram::sim {
+
+namespace {
+
+void write_metrics(telemetry::JsonWriter& w, const RunMetrics& m) {
+  w.key("metrics");
+  w.begin_object();
+  w.field("workload", m.workload);
+  w.field("scheme", m.scheme);
+  w.field("finished", m.finished);
+  w.field("core_cycles", m.core_cycles);
+  w.field("mem_cycles", m.mem_cycles);
+  w.field("instructions", m.instructions);
+  w.field("ipc", m.ipc);
+  w.field("activations", m.activations);
+  w.field("dram_reads", m.dram_reads);
+  w.field("dram_writes", m.dram_writes);
+  w.field("drops", m.drops);
+  w.field("reads_received", m.reads_received);
+  w.field("avg_rbl", m.avg_rbl);
+  w.field("row_energy_nj", m.row_energy_nj);
+  w.field("access_energy_nj", m.access_energy_nj);
+  w.field("total_energy_nj", m.total_energy_nj);
+  w.field("coverage", m.coverage);
+  w.field("app_error", m.app_error);
+  w.field("avg_delay", m.avg_delay);
+  w.field("avg_th_rbl", m.avg_th_rbl);
+  w.field("bwutil", m.bwutil);
+  w.field("l2_hit_rate", m.l2_hit_rate);
+  w.field("avg_read_latency_mem_cycles", m.avg_read_latency_mem_cycles);
+  w.field("rbl_p50", m.rbl_hist.percentile(0.50));
+  w.field("rbl_p90", m.rbl_hist.percentile(0.90));
+  w.field("rbl_p99", m.rbl_hist.percentile(0.99));
+  w.end_object();
+}
+
+void write_window(telemetry::JsonWriter& w, const telemetry::WindowSample& s) {
+  w.begin_object();
+  w.field("index", s.index);
+  w.field("start", s.start_cycle);
+  w.field("end", s.end_cycle);
+  w.field("ticks", s.ticks);
+  w.field("bus_busy", s.bus_busy_cycles);
+  w.field("bwutil", s.bwutil);
+  w.field("delay_sum", s.delay_sum);
+  w.field("delay", s.avg_delay);
+  w.field("th_rbl_sum", s.th_rbl_sum);
+  w.field("th_rbl", s.avg_th_rbl);
+  w.field("queue", s.queue_occupancy);
+  w.field("act", s.activations);
+  w.field("row_hits", s.row_hits);
+  w.field("reads", s.column_reads);
+  w.field("writes", s.column_writes);
+  w.field("drops", s.drops);
+  w.field("reads_received", s.reads_received);
+  w.field("coverage", s.coverage);
+  w.field("energy_nj", s.energy_nj);
+  w.end_object();
+}
+
+void write_stats(telemetry::JsonWriter& w, const telemetry::TelemetryHub::Snapshot& s) {
+  w.key("stats");
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : s.counters) w.field(name.c_str(), value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : s.gauges) w.field(name.c_str(), value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, buckets] : s.histograms) {
+    w.key(name.c_str());
+    w.begin_array();
+    for (const std::uint64_t count : buckets) w.value(count);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json_report(std::FILE* out, const RunMetrics& metrics,
+                       const telemetry::RunTelemetry& telemetry) {
+  telemetry::JsonWriter w(out);
+  w.begin_object();
+  write_metrics(w, metrics);
+
+  w.key("profile");
+  w.begin_object();
+  w.field("setup_seconds", telemetry.profile.setup_seconds);
+  w.field("run_seconds", telemetry.profile.run_seconds);
+  w.field("collect_seconds", telemetry.profile.collect_seconds);
+  w.field("core_cycles_per_second", telemetry.profile.core_cycles_per_second);
+  w.end_object();
+
+  w.key("windows");
+  w.begin_array();
+  for (const auto& channel_series : telemetry.windows) {
+    w.begin_array();
+    for (const telemetry::WindowSample& s : channel_series) write_window(w, s);
+    w.end_array();
+  }
+  w.end_array();
+
+  write_stats(w, telemetry.stats);
+  w.end_object();
+  std::fputc('\n', out);
+}
+
+bool write_json_report(const std::string& path, const RunMetrics& metrics,
+                       const telemetry::RunTelemetry& telemetry) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    log_warn("cannot open JSON report file '%s'; report skipped", path.c_str());
+    return false;
+  }
+  write_json_report(out, metrics, telemetry);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace lazydram::sim

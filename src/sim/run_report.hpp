@@ -1,0 +1,24 @@
+// Machine-readable run report: one JSON document per run with the
+// end-of-run metrics, the full telemetry stat snapshot, the per-window time
+// series, and the wall-clock profile. Bench binaries write this next to
+// their human-readable tables (sim::json_output_path picks the path).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace lazydram::sim {
+
+/// Writes `metrics` + `telemetry` as one JSON document to `path`. Returns
+/// false (after log_warn) when the file cannot be opened.
+bool write_json_report(const std::string& path, const RunMetrics& metrics,
+                       const telemetry::RunTelemetry& telemetry);
+
+/// Same, onto an already-open stream (exposed for multi-run bench reports).
+void write_json_report(std::FILE* out, const RunMetrics& metrics,
+                       const telemetry::RunTelemetry& telemetry);
+
+}  // namespace lazydram::sim

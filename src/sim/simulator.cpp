@@ -1,13 +1,27 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
 #include "common/assert.hpp"
+#include "common/log.hpp"
 #include "gpu/gpu_top.hpp"
 #include "mem/fcfs.hpp"
 #include "mem/frfcfs.hpp"
+#include "sim/run_report.hpp"
 
 namespace lazydram::sim {
 
-RunMetrics simulate(const workloads::Workload& workload, const RunConfig& config) {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& config) {
+  log_level();  // Resolve LAZYDRAM_LOG up front so a typo in it warns even
+                // if the run never logs.
   const GpuConfig& cfg = config.gpu;
 
   gpu::GpuTop::SchedulerFactory factory;
@@ -34,10 +48,53 @@ RunMetrics simulate(const workloads::Workload& workload, const RunConfig& config
       break;
   }
 
-  gpu::GpuTop top(cfg, workload, factory, config.row_policy);
+  // Resolve the observability configuration: explicit RunConfig paths win,
+  // then the environment; window sampling is implied by either output.
+  std::string trace_path = config.trace_path;
+  if (trace_path.empty()) trace_path = telemetry::env_string("LAZYDRAM_TRACE");
+  std::string json_path = config.json_report_path;
+  if (json_path.empty()) json_path = telemetry::env_string("LAZYDRAM_JSON");
+
+  telemetry::Telemetry tele;
+  if (!trace_path.empty()) tele.open_jsonl_trace(trace_path);
+  tele.set_window_sampling(config.window_sampling || !trace_path.empty() ||
+                                !json_path.empty());
+
+  RunOutput out;
+  const auto setup_start = std::chrono::steady_clock::now();
+  gpu::GpuTop top(cfg, workload, factory, config.row_policy, &tele);
+  top.register_stats(tele.hub());
+  out.telemetry.profile.setup_seconds = seconds_since(setup_start);
+
+  const auto run_start = std::chrono::steady_clock::now();
   const bool finished = top.run(config.max_core_cycles);
+  out.telemetry.profile.run_seconds = seconds_since(run_start);
   LD_ASSERT_MSG(finished, "simulation hit max_core_cycles before completing");
-  return collect_metrics(top, workload, label, config.compute_error);
+
+  const auto collect_start = std::chrono::steady_clock::now();
+  out.metrics =
+      collect_metrics(top, workload, label, config.compute_error, &tele.hub());
+  out.telemetry.profile.collect_seconds = seconds_since(collect_start);
+  out.telemetry.profile.core_cycles_per_second =
+      out.telemetry.profile.run_seconds == 0.0
+          ? 0.0
+          : static_cast<double>(top.core_cycles()) / out.telemetry.profile.run_seconds;
+
+  // Detach the window series and stat snapshot before `top` dies.
+  out.telemetry.windows.reserve(top.num_channels());
+  for (ChannelId ch = 0; ch < top.num_channels(); ++ch) {
+    const telemetry::WindowSampler* sampler = top.controller(ch).sampler();
+    out.telemetry.windows.push_back(sampler != nullptr ? sampler->samples()
+                                                       : std::vector<telemetry::WindowSample>{});
+  }
+  out.telemetry.stats = tele.hub().snapshot();
+
+  if (!json_path.empty()) write_json_report(json_path, out.metrics, out.telemetry);
+  return out;
+}
+
+RunMetrics simulate(const workloads::Workload& workload, const RunConfig& config) {
+  return simulate_full(workload, config).metrics;
 }
 
 RunMetrics simulate_scheme(const workloads::Workload& workload, core::SchemeKind kind,

@@ -1,5 +1,7 @@
 // One-call simulation entry points: build a GPU around a workload and a
-// scheduling scheme, run to completion, collect metrics.
+// scheduling scheme, run to completion, collect metrics — optionally with
+// the full observability layer (event trace, windowed time series, stat
+// snapshot, JSON run report) attached.
 #pragma once
 
 #include <string>
@@ -8,6 +10,7 @@
 #include "core/scheme.hpp"
 #include "mem/controller.hpp"
 #include "sim/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/workload.hpp"
 
 namespace lazydram::sim {
@@ -27,10 +30,26 @@ struct RunConfig {
   bool compute_error = true;
   Cycle max_core_cycles = 200'000'000;
   std::string scheme_label;  ///< Defaults to the spec's scheme name.
+
+  // --- Observability (all off by default; enabling any of it is guaranteed
+  // not to change RunMetrics) ---
+  std::string trace_path;   ///< JSONL event trace; "" defers to $LAZYDRAM_TRACE.
+  std::string json_report_path;  ///< JSON run report; "" defers to $LAZYDRAM_JSON.
+  bool window_sampling = false;  ///< Forced on when either path resolves non-empty.
 };
 
 /// Runs `workload` under `config` to completion and returns the metrics.
+/// Honors the telemetry settings (trace / JSON report / env overrides) but
+/// discards the in-memory telemetry results.
 RunMetrics simulate(const workloads::Workload& workload, const RunConfig& config);
+
+/// simulate() plus the run's telemetry: per-channel window series, final
+/// stat snapshot, wall-clock profile.
+struct RunOutput {
+  RunMetrics metrics;
+  telemetry::RunTelemetry telemetry;
+};
+RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& config);
 
 /// Convenience: run one of the seven paper schemes with default config.
 RunMetrics simulate_scheme(const workloads::Workload& workload, core::SchemeKind kind,

@@ -1,0 +1,70 @@
+#include "telemetry/hub.hpp"
+
+#include "common/assert.hpp"
+
+namespace lazydram::telemetry {
+
+void TelemetryHub::add_counter(const std::string& name, CounterFn fn) {
+  LD_ASSERT_MSG(counters_.count(name) == 0, "duplicate counter registration");
+  counters_.emplace(name, std::move(fn));
+}
+
+void TelemetryHub::add_gauge(const std::string& name, GaugeFn fn) {
+  LD_ASSERT_MSG(gauges_.count(name) == 0, "duplicate gauge registration");
+  gauges_.emplace(name, std::move(fn));
+}
+
+void TelemetryHub::add_histogram(const std::string& name, const Histogram* hist) {
+  LD_ASSERT(hist != nullptr);
+  LD_ASSERT_MSG(histograms_.count(name) == 0, "duplicate histogram registration");
+  histograms_.emplace(name, hist);
+}
+
+std::uint64_t TelemetryHub::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  LD_ASSERT_MSG(it != counters_.end(), name.c_str());
+  return it->second();
+}
+
+double TelemetryHub::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  LD_ASSERT_MSG(it != gauges_.end(), name.c_str());
+  return it->second();
+}
+
+const Histogram& TelemetryHub::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  LD_ASSERT_MSG(it != histograms_.end(), name.c_str());
+  return *it->second;
+}
+
+std::uint64_t TelemetryHub::sum_counters(const std::string& prefix,
+                                         const std::string& suffix) const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, fn] : counters_) {
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) continue;
+    sum += fn();
+  }
+  return sum;
+}
+
+TelemetryHub::Snapshot TelemetryHub::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, fn] : counters_) s.counters.emplace(name, fn());
+  for (const auto& [name, fn] : gauges_) s.gauges.emplace(name, fn());
+  for (const auto& [name, hist] : histograms_) {
+    std::vector<std::uint64_t> buckets(hist->bucket_count());
+    for (std::uint64_t k = 0; k < buckets.size(); ++k) buckets[k] = hist->at(k);
+    s.histograms.emplace(name, std::move(buckets));
+  }
+  return s;
+}
+
+std::string channel_stat(const std::string& prefix, unsigned channel,
+                         const std::string& name) {
+  return prefix + ".ch" + std::to_string(channel) + "." + name;
+}
+
+}  // namespace lazydram::telemetry

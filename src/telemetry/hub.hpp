@@ -1,0 +1,62 @@
+// Hierarchical stat registry. Components register named counters (exact
+// u64), gauges (double) and histograms under dotted paths such as
+// "dram.ch0.activations"; reports and metric collection then read the live
+// values by name instead of scraping component accessors ad hoc.
+//
+// Registration stores a closure over the owning component, so the hub must
+// not outlive the components registered into it (in practice: the hub lives
+// beside the GpuTop for the duration of one run; snapshots outlive both).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace lazydram::telemetry {
+
+class TelemetryHub {
+ public:
+  using CounterFn = std::function<std::uint64_t()>;
+  using GaugeFn = std::function<double()>;
+
+  void add_counter(const std::string& name, CounterFn fn);
+  void add_gauge(const std::string& name, GaugeFn fn);
+  void add_histogram(const std::string& name, const Histogram* hist);
+
+  bool has_counter(const std::string& name) const { return counters_.count(name) != 0; }
+  bool has_gauge(const std::string& name) const { return gauges_.count(name) != 0; }
+
+  /// Evaluate one entry; asserts the name is registered.
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const Histogram& histogram(const std::string& name) const;
+
+  /// Sum of every registered counter whose name matches `prefix` + anything
+  /// + `suffix` (e.g. sum_counters("dram.ch", ".activations")).
+  std::uint64_t sum_counters(const std::string& prefix, const std::string& suffix) const;
+
+  std::size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  /// Point-in-time evaluation of every registered entry. Histograms are
+  /// flattened to their bucket counts (index max_key+1 is the overflow).
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::vector<std::uint64_t>> histograms;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::map<std::string, CounterFn> counters_;
+  std::map<std::string, GaugeFn> gauges_;
+  std::map<std::string, const Histogram*> histograms_;
+};
+
+/// Composes the conventional per-channel stat path: "<prefix>.ch<N>.<name>".
+std::string channel_stat(const std::string& prefix, unsigned channel, const std::string& name);
+
+}  // namespace lazydram::telemetry

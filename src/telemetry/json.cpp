@@ -1,0 +1,109 @@
+#include "telemetry/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lazydram::telemetry {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) std::fputc(',', out_);
+    wrote_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  std::fputc('{', out_);
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  LD_ASSERT(!wrote_element_.empty() && !after_key_);
+  wrote_element_.pop_back();
+  std::fputc('}', out_);
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  std::fputc('[', out_);
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  LD_ASSERT(!wrote_element_.empty() && !after_key_);
+  wrote_element_.pop_back();
+  std::fputc(']', out_);
+}
+
+void JsonWriter::key(const char* name) {
+  LD_ASSERT_MSG(!after_key_, "two keys in a row");
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) std::fputc(',', out_);
+    wrote_element_.back() = true;
+  }
+  std::fprintf(out_, "\"%s\":", name);
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  std::fprintf(out_, "%" PRIu64, v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  std::fprintf(out_, "%" PRId64, v);
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    std::fputs("null", out_);
+    return;
+  }
+  // %.17g round-trips IEEE doubles exactly (the determinism tests rely on
+  // recomputing aggregates from reported series).
+  std::fprintf(out_, "%.17g", v);
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  std::fputs(v ? "true" : "false", out_);
+}
+
+void JsonWriter::value(const char* v) {
+  pre_value();
+  std::fprintf(out_, "\"%s\"", json_escape(v).c_str());
+}
+
+}  // namespace lazydram::telemetry

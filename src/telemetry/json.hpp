@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer used by the JSONL trace sink and the run
+// report. No external dependencies: the simulator only ever *writes* JSON,
+// and only over flat numeric/string payloads, so a comma-tracking stack is
+// all that is needed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lazydram::telemetry {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string json_escape(const std::string& s);
+
+/// Streaming writer over an open FILE*. The caller owns the file. Keys are
+/// only legal inside objects; values are only legal inside arrays or after a
+/// key. Misuse trips an assert in debug builds; output stays well-formed as
+/// long as begin/end calls balance.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(const char* name);
+
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);  ///< Non-finite doubles are emitted as null.
+  void value(bool v);
+  void value(const char* v);
+  void value(const std::string& v) { value(v.c_str()); }
+
+  /// key + value in one call.
+  template <typename T>
+  void field(const char* name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void pre_value();  ///< Emits a separating comma when needed.
+
+  std::FILE* out_;
+  /// One frame per open container: true once the first element was written.
+  std::vector<bool> wrote_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace lazydram::telemetry

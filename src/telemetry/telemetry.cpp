@@ -1,0 +1,22 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+
+namespace lazydram::telemetry {
+
+bool Telemetry::open_jsonl_trace(const std::string& path) {
+  owned_sink_ = std::make_unique<JsonlTraceSink>(path);
+  if (!owned_sink_->ok()) {  // Already warned by the sink.
+    owned_sink_.reset();
+    return false;
+  }
+  tracer_.set_sink(owned_sink_.get());
+  return true;
+}
+
+std::string env_string(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string{} : std::string{v};
+}
+
+}  // namespace lazydram::telemetry

@@ -1,0 +1,64 @@
+// Per-run telemetry context: one Tracer (with optional owned JSONL sink),
+// one TelemetryHub, and the window-sampling switch. sim::simulate builds one
+// of these from RunConfig + environment (LAZYDRAM_TRACE / LAZYDRAM_JSON) and
+// threads it through GpuTop; benches that drive a MemoryController directly
+// can build their own.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/hub.hpp"
+#include "telemetry/trace.hpp"
+#include "telemetry/window_sampler.hpp"
+
+namespace lazydram::telemetry {
+
+/// Wall-clock profile of one simulated run (host-side observability: how
+/// fast the simulator itself is going).
+struct RunProfile {
+  double setup_seconds = 0.0;    ///< GpuTop construction (incl. memory init).
+  double run_seconds = 0.0;      ///< The cycle loop.
+  double collect_seconds = 0.0;  ///< Metric collection + error computation.
+  double core_cycles_per_second = 0.0;
+};
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Attaches a JSONL file sink at `path`. On open failure a warning is
+  /// logged and the tracer stays disabled; returns whether the sink opened.
+  bool open_jsonl_trace(const std::string& path);
+
+  Tracer& tracer() { return tracer_; }
+  TelemetryHub& hub() { return hub_; }
+  const TelemetryHub& hub() const { return hub_; }
+
+  void set_window_sampling(bool on) { window_sampling_ = on; }
+  bool window_sampling() const { return window_sampling_; }
+
+ private:
+  Tracer tracer_;
+  TelemetryHub hub_;
+  std::unique_ptr<JsonlTraceSink> owned_sink_;
+  bool window_sampling_ = false;
+};
+
+/// Everything a run's telemetry produced, detached from the simulator
+/// objects so it can outlive them: per-channel window series, the final stat
+/// snapshot, and the wall-clock profile.
+struct RunTelemetry {
+  std::vector<std::vector<WindowSample>> windows;  ///< Indexed by channel.
+  TelemetryHub::Snapshot stats;
+  RunProfile profile;
+};
+
+/// Value of env var `name`, or "" if unset.
+std::string env_string(const char* name);
+
+}  // namespace lazydram::telemetry

@@ -1,0 +1,82 @@
+#include "telemetry/trace.hpp"
+
+#include <cinttypes>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace lazydram::telemetry {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRowActivate: return "act";
+    case EventKind::kRowGroupDrop: return "drop";
+    case EventKind::kVpPrediction: return "vp";
+    case EventKind::kDmsStallBegin: return "stall_begin";
+    case EventKind::kDmsStallEnd: return "stall_end";
+    case EventKind::kDmsDelayChange: return "dms_delay";
+    case EventKind::kAmsThresholdChange: return "ams_th";
+  }
+  LD_ASSERT_MSG(false, "unreachable");
+  return "?";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : path_(path) {
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) log_warn("cannot open trace file '%s'; tracing disabled", path.c_str());
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void JsonlTraceSink::on_event(const TraceEvent& e) {
+  if (out_ == nullptr) return;
+  std::fprintf(out_, "{\"type\":\"%s\",\"cycle\":%" PRIu64 ",\"ch\":%u",
+               event_kind_name(e.kind), e.cycle, e.channel);
+  if (e.bank >= 0) std::fprintf(out_, ",\"bank\":%d", e.bank);
+  switch (e.kind) {
+    case EventKind::kRowActivate:
+      std::fprintf(out_, ",\"row\":%" PRIu64, e.a);
+      break;
+    case EventKind::kRowGroupDrop:
+      std::fprintf(out_, ",\"row\":%" PRIu64 ",\"req\":%" PRIu64, e.a, e.b);
+      break;
+    case EventKind::kVpPrediction:
+      std::fprintf(out_, ",\"line\":%" PRIu64 ",\"donor\":%" PRIu64 ",\"found\":%s", e.a,
+                   e.b, e.f != 0.0 ? "true" : "false");
+      break;
+    case EventKind::kDmsStallBegin:
+      std::fprintf(out_, ",\"req\":%" PRIu64 ",\"delay\":%" PRIu64, e.a, e.b);
+      break;
+    case EventKind::kDmsStallEnd:
+      break;
+    case EventKind::kDmsDelayChange:
+      std::fprintf(out_, ",\"from\":%" PRIu64 ",\"to\":%" PRIu64 ",\"bwutil\":%.17g", e.b,
+                   e.a, e.f);
+      break;
+    case EventKind::kAmsThresholdChange:
+      std::fprintf(out_, ",\"from\":%" PRIu64 ",\"to\":%" PRIu64 ",\"coverage\":%.17g",
+                   e.b, e.a, e.f);
+      break;
+  }
+  std::fputs("}\n", out_);
+}
+
+void JsonlTraceSink::on_window(const WindowSample& w) {
+  if (out_ == nullptr) return;
+  std::fprintf(out_,
+               "{\"type\":\"window\",\"ch\":%u,\"index\":%" PRIu64 ",\"start\":%" PRIu64
+               ",\"end\":%" PRIu64 ",\"ticks\":%" PRIu64 ",\"bus_busy\":%" PRIu64
+               ",\"bwutil\":%.17g,\"delay_sum\":%" PRIu64 ",\"delay\":%.17g"
+               ",\"th_rbl_sum\":%" PRIu64 ",\"th_rbl\":%.17g,\"queue\":%.17g"
+               ",\"act\":%" PRIu64 ",\"row_hits\":%" PRIu64 ",\"reads\":%" PRIu64
+               ",\"writes\":%" PRIu64 ",\"drops\":%" PRIu64 ",\"reads_received\":%" PRIu64
+               ",\"coverage\":%.17g,\"energy_nj\":%.17g}\n",
+               w.channel, w.index, w.start_cycle, w.end_cycle, w.ticks, w.bus_busy_cycles,
+               w.bwutil, w.delay_sum, w.avg_delay, w.th_rbl_sum, w.avg_th_rbl,
+               w.queue_occupancy, w.activations, w.row_hits, w.column_reads,
+               w.column_writes, w.drops, w.reads_received, w.coverage, w.energy_nj);
+}
+
+}  // namespace lazydram::telemetry

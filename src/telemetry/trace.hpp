@@ -1,0 +1,169 @@
+// Event tracing for the lazy memory scheduler (the observability layer's
+// "flight recorder"). Components emit typed events through a Tracer; a
+// pluggable TraceSink decides what happens to them. The default sink is
+// null: a disabled Tracer costs one pointer compare per emission site, so
+// tracing can stay compiled into the hot path.
+//
+// Event taxonomy (each stamped with memory cycle + channel, bank where
+// meaningful):
+//   kRowActivate        - the controller issued an ACT (row opens).
+//   kRowGroupDrop       - AMS removed one read of a draining row group.
+//   kVpPrediction       - the VP unit synthesized a line for a dropped read.
+//   kDmsStallBegin/End  - a bank's row-miss candidate became / stopped being
+//                         age-gated by the DMS delay.
+//   kDmsDelayChange     - Dyn-DMS moved the delay at a window boundary.
+//   kAmsThresholdChange - Dyn-AMS moved Th_RBL at a window boundary.
+//   (WindowSample records from the windowed sampler share the same sinks.)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lazydram::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kRowActivate,
+  kRowGroupDrop,
+  kVpPrediction,
+  kDmsStallBegin,
+  kDmsStallEnd,
+  kDmsDelayChange,
+  kAmsThresholdChange,
+};
+
+/// Short stable name used as the JSONL "type" field.
+const char* event_kind_name(EventKind kind);
+
+/// One traced event. The generic payload fields a/b/f are interpreted per
+/// kind (see the emit helpers on Tracer for the exact meaning).
+struct TraceEvent {
+  EventKind kind = EventKind::kRowActivate;
+  Cycle cycle = 0;            ///< Memory-domain cycle.
+  ChannelId channel = 0;
+  std::int32_t bank = -1;     ///< -1 when the event has no bank scope.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double f = 0.0;
+};
+
+/// One closed profiling window of a channel (see WindowSampler). Counters
+/// are deltas over the window; *_sum fields are per-tick accumulations whose
+/// grand totals reproduce the end-of-run time-weighted averages exactly.
+struct WindowSample {
+  ChannelId channel = 0;
+  std::uint64_t index = 0;     ///< Window ordinal within the channel.
+  Cycle start_cycle = 0;       ///< First memory cycle of the window.
+  Cycle end_cycle = 0;         ///< One past the last memory cycle.
+  std::uint64_t ticks = 0;     ///< Memory cycles observed (== window size except the final partial window).
+
+  std::uint64_t bus_busy_cycles = 0;  ///< Data-bus busy cycles this window.
+  double bwutil = 0.0;                ///< bus_busy_cycles / ticks.
+
+  std::uint64_t delay_sum = 0;  ///< Sum of the active DMS delay over ticks.
+  double avg_delay = 0.0;
+  std::uint64_t th_rbl_sum = 0; ///< Sum of the active Th_RBL over ticks.
+  double avg_th_rbl = 0.0;
+
+  double queue_occupancy = 0.0; ///< Mean pending-queue size over the window.
+
+  std::uint64_t activations = 0;
+  std::uint64_t row_hits = 0;   ///< Column accesses beyond each row's first.
+  std::uint64_t column_reads = 0;
+  std::uint64_t column_writes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t reads_received = 0;
+  double coverage = 0.0;        ///< drops / reads_received within the window.
+  double energy_nj = 0.0;       ///< Row + access energy spent this window.
+};
+
+/// Receives traced events. Implementations must not mutate simulator state.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void on_window(const WindowSample& window) = 0;
+};
+
+/// Appends one JSON object per event/window to a file (JSON Lines). On open
+/// failure the sink reports !ok(); callers should warn and fall back to no
+/// tracing rather than abort the run.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  bool ok() const { return out_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void on_event(const TraceEvent& event) override;
+  void on_window(const WindowSample& window) override;
+
+ private:
+  std::string path_;
+  std::FILE* out_ = nullptr;
+};
+
+/// The emission facade held by instrumented components. With no sink
+/// attached every emit helper is a single branch; no event is constructed.
+class Tracer {
+ public:
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  void emit(const TraceEvent& event) {
+    if (sink_ != nullptr) sink_->on_event(event);
+  }
+  void emit_window(const WindowSample& window) {
+    if (sink_ != nullptr) sink_->on_window(window);
+  }
+
+  // --- Typed emit helpers (document the a/b/f payload per kind) ---
+
+  void row_activate(Cycle cycle, ChannelId ch, BankId bank, RowId row) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kRowActivate, cycle, ch, static_cast<std::int32_t>(bank), row, 0, 0.0});
+  }
+
+  void row_group_drop(Cycle cycle, ChannelId ch, BankId bank, RowId row, RequestId req) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kRowGroupDrop, cycle, ch, static_cast<std::int32_t>(bank), row, req, 0.0});
+  }
+
+  void vp_prediction(Cycle cycle, ChannelId ch, Addr line, bool donor_found, Addr donor) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kVpPrediction, cycle, ch, -1, line, donor, donor_found ? 1.0 : 0.0});
+  }
+
+  void dms_stall_begin(Cycle cycle, ChannelId ch, BankId bank, RequestId req, Cycle delay) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kDmsStallBegin, cycle, ch, static_cast<std::int32_t>(bank), req, delay, 0.0});
+  }
+
+  void dms_stall_end(Cycle cycle, ChannelId ch, BankId bank) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kDmsStallEnd, cycle, ch, static_cast<std::int32_t>(bank), 0, 0, 0.0});
+  }
+
+  void dms_delay_change(Cycle cycle, ChannelId ch, Cycle from, Cycle to, double window_bwutil) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kDmsDelayChange, cycle, ch, -1, to, from, window_bwutil});
+  }
+
+  void ams_threshold_change(Cycle cycle, ChannelId ch, unsigned from, unsigned to,
+                            double window_coverage) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kAmsThresholdChange, cycle, ch, -1, to, from, window_coverage});
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace lazydram::telemetry

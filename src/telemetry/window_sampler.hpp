@@ -1,0 +1,78 @@
+// Per-channel windowed telemetry sampler, aligned to the same
+// profile-window arithmetic the Dyn-DMS/Dyn-AMS controllers use (a window
+// closes at the first tick with now - window_start >= window). The sampler
+// is pull-based: once per memory cycle the owner hands it a WindowProbe of
+// cumulative channel counters plus instantaneous gauges; the sampler
+// differences the counters across window boundaries.
+//
+// Two invariants make the recorded series audit the end-of-run aggregates:
+//   * sum over windows of every delta counter (bus_busy_cycles, activations,
+//     drops, ...) telescopes to the run total, because flush() closes the
+//     final partial window against the final cumulative probe;
+//   * delay_sum/th_rbl_sum accumulate the same per-tick samples the
+//     LazyScheduler averages, so sum(delay_sum)/sum(ticks) reproduces
+//     average_delay() exactly.
+#pragma once
+
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace lazydram::telemetry {
+
+/// Snapshot of one channel handed to the sampler each memory cycle.
+/// Counter fields are cumulative since the start of the run; gauge fields
+/// are the value at this cycle.
+struct WindowProbe {
+  // Cumulative counters.
+  std::uint64_t bus_busy_cycles = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t column_reads = 0;
+  std::uint64_t column_writes = 0;
+  std::uint64_t reads_dropped = 0;
+  std::uint64_t reads_received = 0;
+  double energy_nj = 0.0;
+
+  // Instantaneous gauges.
+  std::uint64_t queue_size = 0;
+  Cycle dms_delay = 0;
+  unsigned th_rbl = 0;
+};
+
+class WindowSampler {
+ public:
+  /// `tracer` may be null (samples are then only kept in memory).
+  WindowSampler(ChannelId channel, Cycle window, Tracer* tracer)
+      : channel_(channel), window_(window), tracer_(tracer) {}
+
+  /// Once per memory cycle, after the channel finished its work for `now`.
+  void tick(Cycle now, const WindowProbe& probe);
+
+  /// Closes the final partial window (if any ticks are pending) against the
+  /// final cumulative counters. Call once at end of run.
+  void flush(const WindowProbe& probe);
+
+  const std::vector<WindowSample>& samples() const { return samples_; }
+  Cycle window() const { return window_; }
+
+ private:
+  void close_window(Cycle end, const WindowProbe& probe);
+
+  ChannelId channel_;
+  Cycle window_;
+  Tracer* tracer_;
+
+  std::vector<WindowSample> samples_;
+
+  Cycle window_start_ = 0;
+  Cycle last_tick_ = 0;
+  WindowProbe at_window_start_{};  ///< Cumulative counters at the last boundary.
+
+  // Per-tick accumulators for the open window.
+  std::uint64_t ticks_ = 0;
+  std::uint64_t delay_sum_ = 0;
+  std::uint64_t th_rbl_sum_ = 0;
+  std::uint64_t queue_sum_ = 0;
+};
+
+}  // namespace lazydram::telemetry

@@ -89,6 +89,29 @@ TEST(Histogram, BucketsAndRanges) {
   EXPECT_DOUBLE_EQ(h.mean(), (3.0 * 1 + 2 + 8 + 20) / 6.0);
 }
 
+TEST(Histogram, OverflowBucketIsQueryable) {
+  Histogram h(8);
+  h.add(20);
+  h.add(9, 2);
+  EXPECT_EQ(h.bucket_count(), 10u);  // Keys 0..8 plus the overflow bucket.
+  EXPECT_EQ(h.at(h.max_key() + 1), 3u);
+  EXPECT_EQ(h.at(h.max_key() + 1), h.overflow());
+}
+
+TEST(Histogram, Percentile) {
+  Histogram h(8);
+  EXPECT_EQ(h.percentile(0.5), 0u);  // Empty.
+  h.add(1, 50);
+  h.add(4, 40);
+  h.add(20, 10);  // Pooled into the overflow bucket.
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.9), 4u);
+  EXPECT_EQ(h.percentile(0.95), h.max_key() + 1);  // Falls in the overflow.
+  EXPECT_EQ(h.percentile(1.0), h.max_key() + 1);
+  EXPECT_EQ(h.percentile(7.0), h.max_key() + 1);  // Clamped.
+}
+
 TEST(Histogram, ResetClearsEverything) {
   Histogram h(4);
   h.add(2, 5);
