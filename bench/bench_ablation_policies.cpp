@@ -9,7 +9,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Ablation — FCFS / closed-row / delay-all-requests vs the paper design",
@@ -17,34 +17,44 @@ int main() {
       "exempt row hits from the age gate");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   TextTable table({"Workload", "FCFS acts", "ClosedRow acts", "DMS(128) acts",
                    "DelayAll(128) acts", "DMS(128) IPC", "DelayAll IPC"});
+
+  sim::RunConfig fcfs;
+  fcfs.gpu = runner.config();
+  fcfs.policy = sim::PolicyKind::kFcfs;
+  fcfs.compute_error = false;
+
+  sim::RunConfig closed;
+  closed.gpu = runner.config();
+  closed.row_policy = RowPolicy::kClosedRow;
+  closed.spec = core::make_scheme_spec(core::SchemeKind::kBaseline, closed.gpu.scheme);
+  closed.compute_error = false;
+
+  sim::RunConfig all;
+  all.gpu = runner.config();
+  all.spec = core::make_static_dms_spec(128, all.gpu.scheme);
+  all.spec.dms_delay_row_hits = true;
+  all.compute_error = false;
+
+  for (const std::string& app :
+       {std::string("SCP"), std::string("LPS"), std::string("MVT"), std::string("FWT")}) {
+    runner.prefetch_baseline(app);
+    runner.prefetch_custom(app, fcfs, "abl/fcfs");
+    runner.prefetch_custom(app, closed, "abl/closed");
+    runner.prefetch(app, core::make_static_dms_spec(128, runner.config().scheme), false);
+    runner.prefetch_custom(app, all, "abl/delayall128");
+  }
+  runner.flush();
 
   for (const std::string& app :
        {std::string("SCP"), std::string("LPS"), std::string("MVT"), std::string("FWT")}) {
     const sim::RunMetrics& base = runner.baseline(app);
-
-    sim::RunConfig fcfs;
-    fcfs.gpu = runner.config();
-    fcfs.policy = sim::PolicyKind::kFcfs;
-    fcfs.compute_error = false;
     const sim::RunMetrics& mf = runner.run_custom(app, fcfs, "abl/fcfs");
-
-    sim::RunConfig closed;
-    closed.gpu = runner.config();
-    closed.row_policy = RowPolicy::kClosedRow;
-    closed.spec = core::make_scheme_spec(core::SchemeKind::kBaseline, closed.gpu.scheme);
-    closed.compute_error = false;
     const sim::RunMetrics& mc = runner.run_custom(app, closed, "abl/closed");
-
     const sim::RunMetrics& dms = runner.run(
         app, core::make_static_dms_spec(128, runner.config().scheme), false);
-
-    sim::RunConfig all;
-    all.gpu = runner.config();
-    all.spec = core::make_static_dms_spec(128, all.gpu.scheme);
-    all.spec.dms_delay_row_hits = true;
-    all.compute_error = false;
     const sim::RunMetrics& ma = runner.run_custom(app, all, "abl/delayall128");
 
     const auto norm = [&](const sim::RunMetrics& m) {
@@ -56,5 +66,6 @@ int main() {
                    TextTable::num(ma.ipc / base.ipc, 3)});
   }
   table.print(std::cout);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

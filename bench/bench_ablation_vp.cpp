@@ -7,7 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Ablation — VP unit: search radius and predictor kind vs app error",
@@ -15,29 +15,45 @@ int main() {
       "donor quality (Section IV-D)");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   TextTable table({"Workload", "r=0", "r=1", "r=4", "r=8", "zero-fill"});
+
+  const auto radius_config = [&](unsigned radius) {
+    sim::RunConfig rc;
+    rc.gpu = runner.config();
+    rc.gpu.scheme.vp_set_radius = radius;
+    rc.spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, rc.gpu.scheme);
+    return rc;
+  };
+  sim::RunConfig zero;
+  zero.gpu = runner.config();
+  zero.gpu.scheme.vp_zero_fill = true;
+  zero.spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, zero.gpu.scheme);
+
+  for (const std::string& app :
+       {std::string("SCP"), std::string("LPS"), std::string("MVT"),
+        std::string("meanfilter")}) {
+    for (const unsigned radius : {0u, 1u, 4u, 8u})
+      runner.prefetch_custom(app, radius_config(radius),
+                             "ablvp/r" + std::to_string(radius));
+    runner.prefetch_custom(app, zero, "ablvp/zero");
+  }
+  runner.flush();
 
   for (const std::string& app :
        {std::string("SCP"), std::string("LPS"), std::string("MVT"),
         std::string("meanfilter")}) {
     std::vector<std::string> row = {app};
     for (const unsigned radius : {0u, 1u, 4u, 8u}) {
-      sim::RunConfig rc;
-      rc.gpu = runner.config();
-      rc.gpu.scheme.vp_set_radius = radius;
-      rc.spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, rc.gpu.scheme);
-      const sim::RunMetrics& m =
-          runner.run_custom(app, rc, "ablvp/r" + std::to_string(radius));
+      const sim::RunMetrics& m = runner.run_custom(app, radius_config(radius),
+                                                   "ablvp/r" + std::to_string(radius));
       row.push_back(TextTable::num(m.app_error * 100, 2) + "%");
     }
-    sim::RunConfig zero;
-    zero.gpu = runner.config();
-    zero.gpu.scheme.vp_zero_fill = true;
-    zero.spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, zero.gpu.scheme);
     const sim::RunMetrics& mz = runner.run_custom(app, zero, "ablvp/zero");
     row.push_back(TextTable::num(mz.app_error * 100, 2) + "%");
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,7 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 2 — activations vs pending queue size (normalized to 128)",
@@ -15,6 +15,20 @@ int main() {
 
   const std::vector<unsigned> sizes = {16, 32, 64, 128, 256};
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+
+  const auto queue_config = [&](unsigned size) {
+    sim::RunConfig rc;
+    rc.gpu = runner.config();
+    rc.gpu.pending_queue_size = size;
+    rc.spec = core::make_scheme_spec(core::SchemeKind::kBaseline, rc.gpu.scheme);
+    rc.compute_error = false;
+    return rc;
+  };
+  for (const std::string& app : sim::bench_workloads())
+    for (const unsigned s : sizes)
+      runner.prefetch_custom(app, queue_config(s), "fig2/q" + std::to_string(s));
+  runner.flush();
 
   std::vector<std::string> header = {"Workload"};
   for (const unsigned s : sizes) header.push_back("q=" + std::to_string(s));
@@ -25,13 +39,8 @@ int main() {
     // Reference: queue size 128 (the baseline configuration).
     std::vector<double> acts(sizes.size());
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      sim::RunConfig rc;
-      rc.gpu = runner.config();
-      rc.gpu.pending_queue_size = sizes[i];
-      rc.spec = core::make_scheme_spec(core::SchemeKind::kBaseline, rc.gpu.scheme);
-      rc.compute_error = false;
-      const sim::RunMetrics& m =
-          runner.run_custom(app, rc, "fig2/q" + std::to_string(sizes[i]));
+      const sim::RunMetrics& m = runner.run_custom(app, queue_config(sizes[i]),
+                                                   "fig2/q" + std::to_string(sizes[i]));
       acts[i] = static_cast<double>(m.activations);
     }
     const double ref = acts[3];  // size 128.
@@ -47,5 +56,6 @@ int main() {
   for (auto& v : per_size) gm.push_back(TextTable::num(sim::geomean(v), 3));
   table.add_row(std::move(gm));
   table.print(std::cout);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -6,7 +6,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 4 — DMS(X) sweep: normalized activations (a) and IPC (b)",
@@ -15,6 +15,14 @@ int main() {
 
   const std::vector<Cycle> delays = {64, 128, 256, 512, 1024, 2048};
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+
+  for (const std::string& app : sim::bench_workloads()) {
+    runner.prefetch_baseline(app);
+    for (const Cycle d : delays)
+      runner.prefetch(app, core::make_static_dms_spec(d, runner.config().scheme), false);
+  }
+  runner.flush();
 
   for (const bool ipc_view : {false, true}) {
     std::vector<std::string> header = {"Workload"};
@@ -44,5 +52,6 @@ int main() {
     std::cout << (ipc_view ? "\n(b) Normalized IPC\n" : "\n(a) Normalized activations\n");
     table.print(std::cout);
   }
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,7 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 5 — activation proportions per RBL bucket vs DMS delay",
@@ -15,6 +15,17 @@ int main() {
 
   const std::vector<Cycle> delays = {0, 64, 128, 256, 512, 1024, 2048};
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+
+  for (const std::string& app : {std::string("SCP"), std::string("FWT")}) {
+    for (const Cycle d : delays) {
+      if (d == 0)
+        runner.prefetch_baseline(app);
+      else
+        runner.prefetch(app, core::make_static_dms_spec(d, runner.config().scheme), false);
+    }
+  }
+  runner.flush();
 
   for (const std::string& app : {std::string("SCP"), std::string("FWT")}) {
     TextTable table({"Delay", "RBL(1)", "RBL(2)", "RBL(3-4)", "RBL(5-8)", "RBL(>8)"});
@@ -36,5 +47,6 @@ int main() {
     std::cout << "\n" << app << ":\n";
     table.print(std::cout);
   }
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,13 +7,18 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 6 — cumulative activation share vs request share, sorted by RBL",
       "GEMM: ~10% of requests (RBL1-2) -> ~65% of acts; 3MM: ~0.2% -> ~45%");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+  for (const std::string& app : {std::string("GEMM"), std::string("3MM")})
+    runner.prefetch_baseline(app);
+  runner.flush();
+
   for (const std::string& app : {std::string("GEMM"), std::string("3MM")}) {
     const sim::RunMetrics& m = runner.baseline(app);
     const Histogram& h = m.rbl_readonly_hist;
@@ -41,5 +46,6 @@ int main() {
                   total_acts > 0 ? act_cum / total_acts : 0.0);
     }
   }
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

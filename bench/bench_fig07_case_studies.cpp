@@ -13,6 +13,12 @@ using namespace lazydram;
 
 namespace {
 
+void prefetch_case_study(sim::ExperimentRunner& runner, const std::string& app,
+                         const std::vector<std::pair<std::string, core::SchemeSpec>>& cases) {
+  runner.prefetch_baseline(app);
+  for (const auto& c : cases) runner.prefetch(app, c.second, /*compute_error=*/true);
+}
+
 void case_study(sim::ExperimentRunner& runner, const std::string& app,
                 const std::vector<std::pair<std::string, core::SchemeSpec>>& cases) {
   const sim::RunMetrics& base = runner.baseline(app);
@@ -33,24 +39,32 @@ void case_study(sim::ExperimentRunner& runner, const std::string& app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   sim::print_bench_header(
       "Fig. 7 — AMS helps DMS (case studies LPS, SCP)",
       "(a) LPS: DMS gains little (2% at MTD), AMS(8) cuts ~16% acts and "
       "gains IPC; (b) SCP: AMS's IPC gain lets DMS adopt a larger delay");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   const SchemeParams& p = runner.config().scheme;
 
-  case_study(runner, "LPS",
-             {{"DMS(256)", core::make_static_dms_spec(256, p)},
-              {"DMS(512)", core::make_static_dms_spec(512, p)},
-              {"AMS(8)", core::make_static_ams_spec(8, p)}});
+  const std::vector<std::pair<std::string, core::SchemeSpec>> lps_cases = {
+      {"DMS(256)", core::make_static_dms_spec(256, p)},
+      {"DMS(512)", core::make_static_dms_spec(512, p)},
+      {"AMS(8)", core::make_static_ams_spec(8, p)}};
+  const std::vector<std::pair<std::string, core::SchemeSpec>> scp_cases = {
+      {"DMS(128)", core::make_static_dms_spec(128, p)},
+      {"DMS(256)", core::make_static_dms_spec(256, p)},
+      {"AMS(8)", core::make_static_ams_spec(8, p)},
+      {"DMS(256)+AMS(8)", core::make_combo_spec(256, 8, p)}};
 
-  case_study(runner, "SCP",
-             {{"DMS(128)", core::make_static_dms_spec(128, p)},
-              {"DMS(256)", core::make_static_dms_spec(256, p)},
-              {"AMS(8)", core::make_static_ams_spec(8, p)},
-              {"DMS(256)+AMS(8)", core::make_combo_spec(256, 8, p)}});
+  prefetch_case_study(runner, "LPS", lps_cases);
+  prefetch_case_study(runner, "SCP", scp_cases);
+  runner.flush();
+
+  case_study(runner, "LPS", lps_cases);
+  case_study(runner, "SCP", scp_cases);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,14 +7,23 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 10 — IPC vs BWUTIL across applications and delays",
       "normalized IPC and normalized BWUTIL are linearly correlated");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   const std::vector<Cycle> delays = {0, 256, 1024, 2048};
+
+  for (const std::string& app : sim::bench_workloads()) {
+    runner.prefetch_baseline(app);
+    for (const Cycle d : delays)
+      if (d != 0)
+        runner.prefetch(app, core::make_static_dms_spec(d, runner.config().scheme), false);
+  }
+  runner.flush();
 
   std::vector<double> xs, ys;
   std::printf("%-14s %-8s %-10s %-10s\n", "Workload", "Delay", "IPC/base", "BW/base");
@@ -44,5 +53,6 @@ int main() {
   }
   const double r = sxy / std::sqrt(std::max(sxx * syy, 1e-12));
   std::printf("\nPearson correlation (IPC vs BWUTIL): r = %.3f\n", r);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

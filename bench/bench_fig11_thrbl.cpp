@@ -7,7 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 11 — SCP: activations & coverage vs Th_RBL; request-share CDF",
@@ -15,7 +15,13 @@ int main() {
       "10% coverage; (b) >10% of requests sit in RBL(1) rows");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   const std::string app = "SCP";
+  runner.prefetch_baseline(app);
+  for (unsigned th = 8; th >= 1; --th)
+    runner.prefetch(app, core::make_static_ams_spec(th, runner.config().scheme), false);
+  runner.flush();
+
   const sim::RunMetrics& base = runner.baseline(app);
 
   std::printf("\n(a) AMS(Th_RBL) sweep\n");
@@ -42,5 +48,6 @@ int main() {
                     ? "   <-- crosses the 10% coverage line"
                     : "");
   }
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -11,7 +11,7 @@
 #include "sim/report.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 12 — row energy / IPC / app error / coverage across schemes",
@@ -19,12 +19,19 @@ int main() {
       "Dyn-DMS+AMS -44% (groups 1-3); IPC within 5%; avg error ~7%");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   const std::vector<core::SchemeKind> schemes = {
       core::SchemeKind::kStaticDms,   core::SchemeKind::kDynDms,
       core::SchemeKind::kStaticAms,   core::SchemeKind::kDynAms,
       core::SchemeKind::kStaticCombo, core::SchemeKind::kDynCombo};
 
   const std::vector<std::string> apps = workloads::fig12_workload_names();
+
+  for (const std::string& app : apps) {
+    runner.prefetch_baseline(app);
+    for (const core::SchemeKind k : schemes) runner.prefetch_scheme(app, k);
+  }
+  runner.flush();
 
   enum class View { kRowEnergy, kIpc, kError, kCoverage };
   const struct {
@@ -70,5 +77,6 @@ int main() {
     std::cout << "\n" << title << "\n";
     table.print(std::cout);
   }
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,7 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 13 — activations vs queue size under DMS(2048), norm. to baseline",
@@ -15,6 +15,22 @@ int main() {
 
   const std::vector<unsigned> sizes = {32, 64, 128, 256};
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+
+  const auto queue_config = [&](unsigned size) {
+    sim::RunConfig rc;
+    rc.gpu = runner.config();
+    rc.gpu.pending_queue_size = size;
+    rc.spec = core::make_static_dms_spec(2048, rc.gpu.scheme);
+    rc.compute_error = false;
+    return rc;
+  };
+  for (const std::string& app : sim::bench_workloads()) {
+    runner.prefetch_baseline(app);
+    for (const unsigned s : sizes)
+      runner.prefetch_custom(app, queue_config(s), "fig13/q" + std::to_string(s));
+  }
+  runner.flush();
 
   std::vector<std::string> header = {"Workload"};
   for (const unsigned s : sizes) header.push_back("q=" + std::to_string(s));
@@ -25,13 +41,8 @@ int main() {
     const sim::RunMetrics& base = runner.baseline(app);
     std::vector<std::string> row = {app};
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      sim::RunConfig rc;
-      rc.gpu = runner.config();
-      rc.gpu.pending_queue_size = sizes[i];
-      rc.spec = core::make_static_dms_spec(2048, rc.gpu.scheme);
-      rc.compute_error = false;
-      const sim::RunMetrics& m =
-          runner.run_custom(app, rc, "fig13/q" + std::to_string(sizes[i]));
+      const sim::RunMetrics& m = runner.run_custom(app, queue_config(sizes[i]),
+                                                   "fig13/q" + std::to_string(sizes[i]));
       const double v =
           static_cast<double>(m.activations) / static_cast<double>(base.activations);
       row.push_back(TextTable::num(v, 3));
@@ -43,5 +54,6 @@ int main() {
   for (auto& v : agg) gm.push_back(TextTable::num(sim::geomean(v), 3));
   table.add_row(std::move(gm));
   table.print(std::cout);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,7 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 14 — laplacian output quality under Dyn-DMS+Dyn-AMS",
@@ -15,6 +15,11 @@ int main() {
       "quality degradation (see examples/image_approx for the PGMs)");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+  runner.prefetch_baseline("laplacian");
+  runner.prefetch_scheme("laplacian", core::SchemeKind::kDynCombo, /*compute_error=*/true);
+  runner.flush();
+
   const sim::RunMetrics& base = runner.baseline("laplacian");
   const sim::RunMetrics& combo =
       runner.run_scheme("laplacian", core::SchemeKind::kDynCombo, /*compute_error=*/true);
@@ -27,5 +32,6 @@ int main() {
               combo.coverage * 100, combo.app_error * 100);
   std::printf("\nRun `examples/image_approx` to write laplacian_exact.pgm / "
               "laplacian_approx.pgm for visual comparison.\n");
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -9,13 +9,21 @@
 #include "sim/report.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "Fig. 15 — Group-4 (low error tolerance) apps, delay-only schemes",
       "both DMS schemes cut row energy at <5% IPC loss; Dyn-DMS cuts more");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+  for (const std::string& app : workloads::group4_workload_names()) {
+    runner.prefetch_baseline(app);
+    runner.prefetch_scheme(app, core::SchemeKind::kStaticDms, /*compute_error=*/false);
+    runner.prefetch_scheme(app, core::SchemeKind::kDynDms, /*compute_error=*/false);
+  }
+  runner.flush();
+
   TextTable table({"Workload", "S-DMS rowE", "Dyn-DMS rowE", "S-DMS IPC", "Dyn-DMS IPC"});
   std::vector<double> se, de, si, di;
 
@@ -40,5 +48,6 @@ int main() {
                  TextTable::num(sim::geomean(de), 3), TextTable::num(sim::geomean(si), 3),
                  TextTable::num(sim::geomean(di), 3)});
   table.print(std::cout);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -9,7 +9,7 @@
 #include "sim/report.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   sim::print_bench_header(
       "HBM projection — memory-system energy savings of Dyn-DMS+Dyn-AMS",
@@ -17,6 +17,13 @@ int main() {
       "up to 8W saved or ~90 GB/s extra peak bandwidth at 60W");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+  for (const std::string& app : workloads::fig12_workload_names()) {
+    runner.prefetch_baseline(app);
+    runner.prefetch_scheme(app, core::SchemeKind::kDynCombo, /*compute_error=*/false);
+  }
+  runner.flush();
+
   std::vector<double> reductions;
   for (const std::string& app : workloads::fig12_workload_names()) {
     const sim::RunMetrics& base = runner.baseline(app);
@@ -42,5 +49,6 @@ int main() {
   std::printf("At a %.0fW memory budget (HBM2): %.1fW power headroom, or ~%.0f GB/s "
               "additional peak bandwidth at iso-power\n",
               kMemBudgetW, hbm2 * kMemBudgetW, hbm2 * kHbm2PeakGBs);
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -7,7 +7,7 @@
 #include "sim/characterize.hpp"
 #include "sim/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lazydram;
   using workloads::level_name;
 
@@ -17,6 +17,7 @@ int main() {
       "Th_RBL sensitivity and error tolerance (Table III thresholds)");
 
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
   TextTable table({"Workload", "Grp", "Thrash(meas/target)", "DelayTol", "ActSens",
                    "ThSens", "ErrTol", "rbl18%", "MTD", "dAct@2048", "err%", "cov%"});
 
@@ -49,5 +50,6 @@ int main() {
   std::cout << "(Table III thresholds: thrashing 3%/10% of requests in RBL(1-8) rows; "
                "delay tolerance MTD 256/1024; act sensitivity 10%/20% at DMS(2048); "
                "Th_RBL sensitivity 5%; error tolerance 20%/5%.)\n";
+  runner.write_sweep_report(sim::json_output_path(argc, argv));
   return 0;
 }

@@ -19,7 +19,26 @@ int main(int argc, char** argv) {
   const Cycle max_delay = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 512;
   const unsigned max_th = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 8;
 
+  const auto spec_for = [](const sim::ExperimentRunner& runner, Cycle delay, unsigned th) {
+    core::SchemeSpec spec;
+    if (delay > 0) spec = core::make_static_dms_spec(delay, runner.config().scheme);
+    if (th > 0) {
+      if (delay > 0)
+        spec = core::make_combo_spec(delay, th, runner.config().scheme);
+      else
+        spec = core::make_static_ams_spec(th, runner.config().scheme);
+    }
+    return spec;
+  };
+
   sim::ExperimentRunner runner;
+  runner.set_jobs(sim::parse_jobs(argc, argv));
+  runner.prefetch_baseline(app);
+  for (Cycle delay = 0; delay <= max_delay; delay += 128)
+    for (unsigned th = 0; th <= max_th; th = th == 0 ? 1 : th * 2)
+      runner.prefetch(app, spec_for(runner, delay, th));
+  runner.flush();
+
   const sim::RunMetrics& base = runner.baseline(app);
   std::cout << "Exploring " << app << " (baseline: " << base.activations
             << " activations, IPC " << TextTable::num(base.ipc, 2) << ", Avg-RBL "
@@ -29,16 +48,7 @@ int main(int argc, char** argv) {
                    "AppError"});
   for (Cycle delay = 0; delay <= max_delay; delay += 128) {
     for (unsigned th = 0; th <= max_th; th = th == 0 ? 1 : th * 2) {
-      core::SchemeSpec spec;
-      if (delay > 0) spec = core::make_static_dms_spec(delay, runner.config().scheme);
-      if (th > 0) {
-        core::SchemeSpec ams = core::make_static_ams_spec(th, runner.config().scheme);
-        if (delay > 0)
-          spec = core::make_combo_spec(delay, th, runner.config().scheme);
-        else
-          spec = ams;
-      }
-      const sim::RunMetrics& m = runner.run(app, spec);
+      const sim::RunMetrics& m = runner.run(app, spec_for(runner, delay, th));
       table.add_row({std::to_string(delay), th == 0 ? "off" : std::to_string(th),
                      TextTable::num(static_cast<double>(m.activations) /
                                         static_cast<double>(base.activations),

@@ -27,11 +27,16 @@ void DmsUnit::tick(Cycle now_mem, std::uint64_t bus_busy_total) {
 
   if (now_mem - window_start_ < params_.profile_window) return;
 
-  // Window boundary: evaluate BWUTIL of the elapsed window.
+  // Window boundary: evaluate BWUTIL of the elapsed window. Advance the
+  // window start by whole profile_window multiples — not to now_mem — so a
+  // boundary observed late (the unit not being ticked on the exact cycle)
+  // cannot drift the schedule off the profile-window grid that
+  // telemetry::WindowSampler and Dyn-AMS share.
   const std::uint64_t busy = bus_busy_total - busy_at_window_start_;
   const double bwutil =
       static_cast<double>(busy) / static_cast<double>(params_.profile_window);
-  window_start_ = now_mem;
+  window_start_ +=
+      params_.profile_window * ((now_mem - window_start_) / params_.profile_window);
   busy_at_window_start_ = bus_busy_total;
   last_window_bwutil_ = bwutil;
   const Cycle delay_before = current_delay_;
@@ -48,8 +53,14 @@ void DmsUnit::on_window_end(double window_bwutil) {
             baseline_bwutil_);
 
   // Restart every N windows to track application phase changes, seeding the
-  // search with the settled delay (Section IV-B).
+  // search with the settled delay (Section IV-B). A restart can land in the
+  // middle of kSearching, before the search committed its result; the best
+  // delay seen so far is still the freshest settled value, so record it —
+  // otherwise the next search would reseed from the stale pre-search
+  // recorded_delay_.
   if (windows_since_restart_ >= params_.windows_per_restart) {
+    if (phase_ == Phase::kSearching && saw_good_delay_)
+      recorded_delay_ = last_good_delay_;
     windows_since_restart_ = 0;
     phase_ = Phase::kSampling;
     current_delay_ = 0;

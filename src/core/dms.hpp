@@ -54,6 +54,7 @@ class DmsUnit {
   // Introspection for tests/benches.
   double last_baseline_bwutil() const { return baseline_bwutil_; }
   double last_window_bwutil() const { return last_window_bwutil_; }
+  Cycle window_start() const { return window_start_; }
 
   /// Emits kDmsDelayChange events through `tracer` (nullable to detach).
   void set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {

@@ -27,12 +27,16 @@ Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
   }
 
   // 1. Row-buffer hits are served immediately (never delayed). The
-  //    delay-all ablation gates them like misses.
+  //    delay-all ablation gates them like misses, and a gated hit is a DMS
+  //    stall like any other — it must show up in the stall trace.
   if (bank.row_open) {
     if (const MemRequest* hit = queue.oldest_for_row(bank.bank, bank.open_row)) {
       if (!spec_.dms_delay_row_hits || !spec_.dms_enabled ||
-          dms_.allows(hit->enqueue_cycle, now))
+          dms_.allows(hit->enqueue_cycle, now)) {
+        trace_stall_end(bank.bank, now);
         return Decision::serve(hit->id);
+      }
+      trace_stall_begin(bank.bank, hit->id, now);
       return Decision::none();
     }
   }

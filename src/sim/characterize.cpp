@@ -83,7 +83,20 @@ Characterization characterize(ExperimentRunner& runner, const std::string& workl
   return c;
 }
 
+void prefetch_characterization(ExperimentRunner& runner, const std::string& workload) {
+  const SchemeParams& params = runner.config().scheme;
+  runner.prefetch_baseline(workload);
+  for (const Cycle delay : {Cycle{256}, Cycle{1024}, Cycle{2048}})
+    runner.prefetch(workload, core::make_static_dms_spec(delay, params), false);
+  runner.prefetch(workload, core::make_static_ams_spec(8, params), /*compute_error=*/true);
+  runner.prefetch(workload, core::make_static_ams_spec(2, params), false);
+}
+
 std::vector<Characterization> characterize_all(ExperimentRunner& runner) {
+  for (const std::string& name : workloads::all_workload_names())
+    prefetch_characterization(runner, name);
+  runner.flush();
+
   std::vector<Characterization> out;
   for (const std::string& name : workloads::all_workload_names())
     out.push_back(characterize(runner, name));

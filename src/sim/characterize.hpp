@@ -44,7 +44,15 @@ workloads::Level classify_error_tolerance(double error);          // 20% / 5%
 /// Measures one workload (several cached simulations via `runner`).
 Characterization characterize(ExperimentRunner& runner, const std::string& workload);
 
-/// Measures every registered workload in Table II order.
+/// Queues every simulation characterize() may need into the runner's sweep
+/// queue (call runner.flush() afterwards). The MTD probe is data-dependent —
+/// serial runs skip DMS(1024) when DMS(256) already fails the 95% IPC bar —
+/// so this prefetches the full probe grid; the extra run only costs compute,
+/// never changes a result.
+void prefetch_characterization(ExperimentRunner& runner, const std::string& workload);
+
+/// Measures every registered workload in Table II order. Prefetches the
+/// whole grid through the runner's sweep engine before measuring.
 std::vector<Characterization> characterize_all(ExperimentRunner& runner);
 
 }  // namespace lazydram::sim

@@ -18,6 +18,15 @@ std::string spec_key(const core::SchemeSpec& spec) {
   return key;
 }
 
+RunConfig ExperimentRunner::make_config(const core::SchemeSpec& spec,
+                                        bool compute_error) const {
+  RunConfig config;
+  config.gpu = cfg_;
+  config.spec = spec;
+  config.compute_error = compute_error;
+  return config;
+}
+
 const RunMetrics& ExperimentRunner::run_keyed(const std::string& workload,
                                               const RunConfig& config,
                                               const std::string& key) {
@@ -34,11 +43,8 @@ const RunMetrics& ExperimentRunner::run_keyed(const std::string& workload,
 const RunMetrics& ExperimentRunner::run(const std::string& workload,
                                         const core::SchemeSpec& spec,
                                         bool compute_error) {
-  RunConfig config;
-  config.gpu = cfg_;
-  config.spec = spec;
-  config.compute_error = compute_error;
-  return run_keyed(workload, config, spec_key(spec) + (compute_error ? "" : "/noerr"));
+  return run_keyed(workload, make_config(spec, compute_error),
+                   spec_key(spec) + (compute_error ? "" : "/noerr"));
 }
 
 const RunMetrics& ExperimentRunner::run_scheme(const std::string& workload,
@@ -55,6 +61,51 @@ const RunMetrics& ExperimentRunner::run_custom(const std::string& workload,
                                                const RunConfig& config,
                                                const std::string& key) {
   return run_keyed(workload, config, key);
+}
+
+void ExperimentRunner::prefetch_custom(const std::string& workload,
+                                       const RunConfig& config,
+                                       const std::string& key) {
+  const std::string cache_key = workload + "|" + key;
+  if (cache_.count(cache_key) != 0 || !pending_keys_.insert(cache_key).second) return;
+  pending_.push_back(SweepJob{workload, config, cache_key});
+}
+
+void ExperimentRunner::prefetch(const std::string& workload, const core::SchemeSpec& spec,
+                                bool compute_error) {
+  prefetch_custom(workload, make_config(spec, compute_error),
+                  spec_key(spec) + (compute_error ? "" : "/noerr"));
+}
+
+void ExperimentRunner::prefetch_scheme(const std::string& workload, core::SchemeKind kind,
+                                       bool compute_error) {
+  prefetch(workload, core::make_scheme_spec(kind, cfg_.scheme), compute_error);
+}
+
+void ExperimentRunner::prefetch_baseline(const std::string& workload) {
+  prefetch_scheme(workload, core::SchemeKind::kBaseline, /*compute_error=*/false);
+}
+
+std::size_t ExperimentRunner::flush() {
+  if (pending_.empty()) return 0;
+  std::vector<SweepJob> jobs;
+  jobs.swap(pending_);
+  pending_keys_.clear();
+
+  std::vector<SweepResult> results = engine_.run(std::move(jobs));
+  const std::size_t executed = results.size();
+  for (SweepResult& r : results) {
+    // Failed jobs stay uncached: the corresponding run_* call retries
+    // serially and surfaces the error where the result is actually needed.
+    if (r.ok) cache_.emplace(r.label, r.output.metrics);
+    flushed_.push_back(std::move(r));
+  }
+  return executed;
+}
+
+bool ExperimentRunner::write_sweep_report(const std::string& path) const {
+  if (path.empty()) return false;
+  return sim::write_sweep_report(path, flushed_, engine_.profile());
 }
 
 }  // namespace lazydram::sim

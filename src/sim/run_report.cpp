@@ -5,9 +5,7 @@
 
 namespace lazydram::sim {
 
-namespace {
-
-void write_metrics(telemetry::JsonWriter& w, const RunMetrics& m) {
+void write_metrics_section(telemetry::JsonWriter& w, const RunMetrics& m) {
   w.key("metrics");
   w.begin_object();
   w.field("workload", m.workload);
@@ -39,6 +37,8 @@ void write_metrics(telemetry::JsonWriter& w, const RunMetrics& m) {
   w.end_object();
 }
 
+namespace {
+
 void write_window(telemetry::JsonWriter& w, const telemetry::WindowSample& s) {
   w.begin_object();
   w.field("index", s.index);
@@ -63,7 +63,22 @@ void write_window(telemetry::JsonWriter& w, const telemetry::WindowSample& s) {
   w.end_object();
 }
 
-void write_stats(telemetry::JsonWriter& w, const telemetry::TelemetryHub::Snapshot& s) {
+}  // namespace
+
+void write_windows_section(telemetry::JsonWriter& w,
+                           const telemetry::RunTelemetry& telemetry) {
+  w.key("windows");
+  w.begin_array();
+  for (const auto& channel_series : telemetry.windows) {
+    w.begin_array();
+    for (const telemetry::WindowSample& s : channel_series) write_window(w, s);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+void write_stats_section(telemetry::JsonWriter& w,
+                         const telemetry::TelemetryHub::Snapshot& s) {
   w.key("stats");
   w.begin_object();
   w.key("counters");
@@ -86,13 +101,11 @@ void write_stats(telemetry::JsonWriter& w, const telemetry::TelemetryHub::Snapsh
   w.end_object();
 }
 
-}  // namespace
-
 void write_json_report(std::FILE* out, const RunMetrics& metrics,
                        const telemetry::RunTelemetry& telemetry) {
   telemetry::JsonWriter w(out);
   w.begin_object();
-  write_metrics(w, metrics);
+  write_metrics_section(w, metrics);
 
   w.key("profile");
   w.begin_object();
@@ -102,16 +115,8 @@ void write_json_report(std::FILE* out, const RunMetrics& metrics,
   w.field("core_cycles_per_second", telemetry.profile.core_cycles_per_second);
   w.end_object();
 
-  w.key("windows");
-  w.begin_array();
-  for (const auto& channel_series : telemetry.windows) {
-    w.begin_array();
-    for (const telemetry::WindowSample& s : channel_series) write_window(w, s);
-    w.end_array();
-  }
-  w.end_array();
-
-  write_stats(w, telemetry.stats);
+  write_windows_section(w, telemetry);
+  write_stats_section(w, telemetry.stats);
   w.end_object();
   std::fputc('\n', out);
 }

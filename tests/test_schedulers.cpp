@@ -1,8 +1,10 @@
-// Scheduler policy tests: FR-FCFS ordering, FCFS ordering, and the lazy
-// scheduler's DMS gate, AMS criteria and row-group drain behaviour.
+// Scheduler policy tests: FR-FCFS ordering, FCFS ordering, the lazy
+// scheduler's DMS gate, AMS criteria and row-group drain behaviour, and the
+// Dyn-DMS search edge cases the scheduler's age gate depends on.
 #include <gtest/gtest.h>
 
 #include "common/config.hpp"
+#include "core/dms.hpp"
 #include "core/lazy_scheduler.hpp"
 #include "dram/address.hpp"
 #include "mem/fcfs.hpp"
@@ -10,6 +12,81 @@
 
 namespace lazydram {
 namespace {
+
+SchemeParams dms_params() {
+  SchemeParams p;
+  p.profile_window = 64;  // Small windows keep the tests fast.
+  return p;
+}
+
+/// Feeds `windows` whole profiling windows at the given per-window BWUTIL.
+void feed_windows(core::DmsUnit& dms, Cycle& now, std::uint64_t& busy_total,
+                  double bwutil, unsigned windows, const SchemeParams& p) {
+  for (unsigned w = 0; w < windows; ++w) {
+    for (Cycle c = 0; c < p.profile_window; ++c) {
+      busy_total += static_cast<std::uint64_t>(bwutil * 1000);
+      dms.tick(++now, busy_total / 1000);
+    }
+  }
+}
+
+TEST(DynDmsSearch, DownwardSearchCommitsFirstPassingDelayAndHolds) {
+  // After a restart the search is seeded with the previously settled delay.
+  // When that seed violates the 95% threshold under the new baseline, the
+  // search walks downward — and the first window that passes again must
+  // commit (recorded + holding), not keep walking.
+  const SchemeParams p = dms_params();
+  core::DmsUnit dms(p, /*dynamic=*/true, 0);
+  Cycle now = 0;
+  std::uint64_t busy = 0;
+  feed_windows(dms, now, busy, 0.5, 2, p);   // Warm-up + baseline 0.5.
+  feed_windows(dms, now, busy, 0.5, 15, p);  // Climbs to the 2048 cap.
+  ASSERT_EQ(dms.current_delay(), p.max_delay);
+  feed_windows(dms, now, busy, 0.5, 15, p);  // Window 32: restart -> sampling.
+  feed_windows(dms, now, busy, 0.9, 1, p);   // New baseline 0.9; seeded at 2048.
+  feed_windows(dms, now, busy, 0.3, 3, p);   // Three violating windows: walk down.
+  ASSERT_EQ(dms.current_delay(), p.max_delay - 3 * p.delay_step);
+  feed_windows(dms, now, busy, 0.9, 1, p);   // Passes: commit and hold here.
+  EXPECT_EQ(dms.current_delay(), p.max_delay - 3 * p.delay_step);
+  EXPECT_FALSE(dms.sampling());
+  feed_windows(dms, now, busy, 0.2, 5, p);   // Holding: later windows can't move it.
+  EXPECT_EQ(dms.current_delay(), p.max_delay - 3 * p.delay_step);
+}
+
+TEST(DynDmsSearch, DownwardSearchBottomsOutAtMinDelay) {
+  const SchemeParams p = dms_params();
+  core::DmsUnit dms(p, /*dynamic=*/true, 0);
+  Cycle now = 0;
+  std::uint64_t busy = 0;
+  feed_windows(dms, now, busy, 0.5, 17, p);  // Settle at the 2048 cap.
+  feed_windows(dms, now, busy, 0.5, 15, p);  // Window 32: restart -> sampling.
+  feed_windows(dms, now, busy, 0.9, 1, p);   // New baseline; seeded at 2048.
+  feed_windows(dms, now, busy, 0.3, 20, p);  // Nothing ever passes again.
+  EXPECT_EQ(dms.current_delay(), p.min_delay);  // Fallback floor, held.
+  feed_windows(dms, now, busy, 0.3, 2, p);
+  EXPECT_EQ(dms.current_delay(), p.min_delay);
+}
+
+TEST(DynDmsSearch, RestartMidSearchSeedsFromLastGoodDelay) {
+  // With a huge max_delay the upward search is still running when the
+  // 32-window restart fires. The best delay seen so far is the freshest
+  // settled value, so the next search must be seeded from it — not from the
+  // stale recorded_delay_ of the previous phase.
+  SchemeParams p = dms_params();
+  p.max_delay = 1u << 20;
+  core::DmsUnit dms(p, /*dynamic=*/true, 0);
+  Cycle now = 0;
+  std::uint64_t busy = 0;
+  feed_windows(dms, now, busy, 0.5, 31, p);  // Warm-up, baseline, 29 passing steps.
+  EXPECT_EQ(dms.current_delay(), 30 * p.delay_step);  // Still searching upward.
+  feed_windows(dms, now, busy, 0.5, 1, p);   // Window 32: restart mid-search.
+  EXPECT_TRUE(dms.sampling());
+  EXPECT_EQ(dms.current_delay(), 0u);        // Sampling window runs at delay 0.
+  feed_windows(dms, now, busy, 0.5, 1, p);   // Baseline resampled; search reseeded.
+  EXPECT_EQ(dms.current_delay(), 29 * p.delay_step);  // Last good delay, not 128.
+  feed_windows(dms, now, busy, 0.5, 1, p);   // And the climb resumes from there.
+  EXPECT_EQ(dms.current_delay(), 30 * p.delay_step);
+}
 
 class SchedulerTest : public ::testing::Test {
  protected:

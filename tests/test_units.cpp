@@ -96,6 +96,23 @@ TEST(DynDms, CapsAtMaxDelay) {
   EXPECT_LE(dms.current_delay(), p.max_delay);
 }
 
+TEST(DynDms, WindowBoundariesStayOnProfileGridWhenObservedLate) {
+  // A controller that isn't ticked on the exact boundary cycle observes the
+  // boundary late. The window start must still advance by whole
+  // profile_window multiples — snapping it to the observation cycle would
+  // drift the schedule off the grid that WindowSampler and Dyn-AMS share.
+  const SchemeParams p = params();  // profile_window = 64.
+  DmsUnit dms(p, /*dynamic=*/true, 0);
+  std::uint64_t busy = 0;
+  for (Cycle now = 10; now <= 700; now += 10) {
+    dms.tick(now, busy += 5);
+    EXPECT_EQ(dms.window_start() % p.profile_window, 0u) << "at cycle " << now;
+  }
+  // Boundaries were observed at 70, 130, 200, ...; the grid still lands on
+  // exact multiples, finishing the window that started at 640.
+  EXPECT_EQ(dms.window_start(), 640u);
+}
+
 TEST(DynAms, LowersThRblWhenCoverageAchieved) {
   const SchemeParams p = params();
   AmsUnit ams(p, /*dynamic=*/true, 8);
