@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
 
   sim::ExperimentRunner runner;
   runner.set_jobs(sim::parse_jobs(argc, argv));
+  // `--check strict|log` (or $LAZYDRAM_CHECK) runs every simulation under
+  // the DRAM protocol checker; CI uses this as its checked fig12 smoke.
+  runner.set_check(sim::parse_check(argc, argv));
   const std::vector<core::SchemeKind> schemes = {
       core::SchemeKind::kStaticDms,   core::SchemeKind::kDynDms,
       core::SchemeKind::kStaticAms,   core::SchemeKind::kDynAms,

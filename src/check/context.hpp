@@ -1,0 +1,68 @@
+// Per-run verification context: owns the per-channel protocol checkers and
+// stream recorders a GpuTop wires into its memory controllers. Kept separate
+// from GpuTop so callers (simulator, sweep engine, DiffHarness, tests) can
+// inspect checker results and recordings after the run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/mode.hpp"
+#include "check/recorder.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace lazydram::check {
+
+struct CheckConfig {
+  CheckMode mode = CheckMode::kOff;
+  /// Record per-channel request streams for golden-model replay.
+  bool record = false;
+  Cycle starvation_bound = kDefaultStarvationBound;
+};
+
+class CheckContext {
+ public:
+  explicit CheckContext(const CheckConfig& config) : config_(config) {}
+
+  const CheckConfig& config() const { return config_; }
+
+  /// True if the context wants any hook installed at all.
+  bool active() const { return config_.mode != CheckMode::kOff || config_.record; }
+
+  ProtocolChecker* add_checker(const GpuConfig& cfg, ChannelId channel,
+                               const CheckerOptions& opts) {
+    if (checkers_.size() <= channel) checkers_.resize(channel + 1);
+    checkers_[channel] = std::make_unique<ProtocolChecker>(cfg, channel, opts);
+    return checkers_[channel].get();
+  }
+
+  ChannelRecorder* add_recorder(ChannelId channel) {
+    if (recorders_.size() <= channel) recorders_.resize(channel + 1);
+    recorders_[channel] = std::make_unique<ChannelRecorder>(channel);
+    return recorders_[channel].get();
+  }
+
+  ProtocolChecker* checker(ChannelId channel) const {
+    return channel < checkers_.size() ? checkers_[channel].get() : nullptr;
+  }
+
+  ChannelRecorder* recorder(ChannelId channel) const {
+    return channel < recorders_.size() ? recorders_[channel].get() : nullptr;
+  }
+
+  std::uint64_t total_violations() const {
+    std::uint64_t n = 0;
+    for (const auto& c : checkers_)
+      if (c != nullptr) n += c->violation_count();
+    return n;
+  }
+
+ private:
+  CheckConfig config_;
+  std::vector<std::unique_ptr<ProtocolChecker>> checkers_;
+  std::vector<std::unique_ptr<ChannelRecorder>> recorders_;
+};
+
+}  // namespace lazydram::check

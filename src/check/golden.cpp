@@ -1,0 +1,223 @@
+#include "check/golden.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lazydram::check {
+
+namespace {
+
+constexpr Cycle kTurnaround = 2;  ///< RD<->WR bubble, mirrors dram/channel.cpp.
+
+/// A pending request in the golden model's arrival-ordered queue.
+struct GoldenReq {
+  RequestId id = 0;
+  BankId bank = 0;
+  RowId row = kInvalidRow;
+  Cycle enqueue = 0;
+  bool is_read = true;
+};
+
+/// Per-rule timing bounds (running max, like the checker's shadow ledger).
+struct GoldenBank {
+  RowId open_row = kInvalidRow;
+  Cycle act_after_rc = 0;
+  Cycle act_after_rp = 0;
+  Cycle pre_after_ras = 0;
+  Cycle pre_after_rtp = 0;
+  Cycle pre_after_wr = 0;
+  Cycle cas_after_rcd = 0;
+  Cycle cas_after_ccd = 0;
+  Cycle rd_after_cdlr = 0;
+};
+
+const GoldenReq* oldest_for_row(const std::vector<GoldenReq>& pending, BankId bank,
+                                RowId row) {
+  for (const GoldenReq& r : pending)
+    if (r.bank == bank && r.row == row) return &r;
+  return nullptr;
+}
+
+const GoldenReq* oldest_for_bank(const std::vector<GoldenReq>& pending, BankId bank) {
+  for (const GoldenReq& r : pending)
+    if (r.bank == bank) return &r;
+  return nullptr;
+}
+
+void erase_id(std::vector<GoldenReq>& pending, RequestId id) {
+  for (auto it = pending.begin(); it != pending.end(); ++it) {
+    if (it->id == id) {
+      pending.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+GoldenTimeline golden_replay(const ChannelRecording& rec, const GpuConfig& cfg) {
+  const DramTiming& t = cfg.timing;
+  const unsigned num_banks = cfg.banks_per_channel;
+  const unsigned groups = cfg.bank_groups_per_channel;
+
+  GoldenTimeline out;
+
+  // Arrivals are recorded in icnt delivery order; sort defensively by
+  // enqueue stamp (stable: ties keep delivery order, which is the order the
+  // pending queue sees).
+  std::vector<RecordedArrival> arrivals = rec.arrivals;
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const RecordedArrival& a, const RecordedArrival& b) {
+                     return a.enqueue_cycle < b.enqueue_cycle;
+                   });
+
+  std::vector<GoldenReq> pending;
+  pending.reserve(cfg.pending_queue_size);
+  std::vector<GoldenBank> banks(num_banks);
+  std::vector<Cycle> group_cas(groups, 0);
+  Cycle act_after_rrd = 0;
+  Cycle act_ring[4] = {0, 0, 0, 0};
+  unsigned act_ring_pos = 0;
+  unsigned acts_in_ring = 0;
+  Cycle bus_free_at = 0;
+  bool last_burst_was_write = false;
+  unsigned rr_bank = 0;
+  Cycle cur_delay = 0;
+
+  std::size_t next_arrival = 0;
+  std::size_t next_drop = 0;
+  std::size_t next_gate = 0;
+  std::size_t next_delay = 0;
+
+  // Generous wedge guard: the recorded run finished, so the golden replay
+  // must drain well before this (a stuck replay means a divergence so large
+  // the streams no longer line up).
+  const Cycle cap = rec.last_cycle + 2'000'000;
+
+  std::vector<BankId> gated;  // Banks drop-gated this cycle.
+
+  for (Cycle now = 0;; ++now) {
+    if (now > cap) {
+      out.completed = false;
+      break;
+    }
+
+    // Arrivals become schedulable the cycle after their enqueue stamp (see
+    // recorder.hpp).
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].enqueue_cycle < now) {
+      const RecordedArrival& a = arrivals[next_arrival++];
+      pending.push_back(GoldenReq{a.id, a.bank, a.row, a.enqueue_cycle, a.is_read});
+    }
+    if (pending.empty() && next_arrival == arrivals.size()) {
+      out.end_cycle = now;
+      break;
+    }
+
+    // The scheduler updates its DMS delay at tick(now), before any decision
+    // of the same cycle.
+    while (next_delay < rec.delay_changes.size() &&
+           rec.delay_changes[next_delay].cycle <= now)
+      cur_delay = rec.delay_changes[next_delay++].delay;
+
+    // Drop pass: replay recorded AMS drops (the drop pass precedes the
+    // command pass in MemoryController::tick).
+    while (next_drop < rec.drops.size() && rec.drops[next_drop].cycle == now) {
+      const RecordedDrop& d = rec.drops[next_drop++];
+      erase_id(pending, d.id);
+      if (out.entries.find(d.id) == out.entries.end())
+        out.entries[d.id] = GoldenEntry{GoldenOutcome::kDropped, 0, 0, now};
+    }
+
+    gated.clear();
+    while (next_gate < rec.drop_gates.size() && rec.drop_gates[next_gate].cycle == now)
+      gated.push_back(rec.drop_gates[next_gate++].bank);
+
+    // Command pass: round-robin over banks, first legal command wins.
+    for (unsigned i = 0; i < num_banks; ++i) {
+      const BankId b = (rr_bank + i) % num_banks;
+      if (std::find(gated.begin(), gated.end(), b) != gated.end()) continue;
+      GoldenBank& bank = banks[b];
+
+      // FR-FCFS selection: oldest row-buffer hit first, else the bank's
+      // oldest request, age-gated by the replayed DMS delay (hits only under
+      // the delay-all ablation).
+      const GoldenReq* cand = nullptr;
+      bool is_hit = false;
+      if (bank.open_row != kInvalidRow) {
+        cand = oldest_for_row(pending, b, bank.open_row);
+        if (cand != nullptr) is_hit = true;
+      }
+      if (is_hit) {
+        if (rec.dms_delay_row_hits && rec.dms_enabled &&
+            now - cand->enqueue < cur_delay)
+          continue;  // Gated hit: the bank idles.
+      } else {
+        cand = oldest_for_bank(pending, b);
+        if (cand == nullptr) continue;
+        if (rec.dms_enabled && now - cand->enqueue < cur_delay) continue;
+      }
+
+      if (bank.open_row == cand->row) {
+        // CAS.
+        const bool is_write = !cand->is_read;
+        Cycle ready = std::max(bank.cas_after_rcd, bank.cas_after_ccd);
+        ready = std::max(ready, group_cas[b % groups]);
+        if (!is_write) ready = std::max(ready, bank.rd_after_cdlr);
+        if (now < ready) continue;
+        const Cycle data_start = now + (is_write ? t.tWL : t.tCL);
+        const Cycle needed =
+            bus_free_at + (is_write != last_burst_was_write ? kTurnaround : 0);
+        if (data_start < needed) continue;
+
+        const Cycle data_end = data_start + t.tBURST;
+        bank.cas_after_ccd = std::max(bank.cas_after_ccd, now + t.tCCD);
+        if (is_write) {
+          bank.rd_after_cdlr = std::max(bank.rd_after_cdlr, data_end + t.tCDLR);
+          bank.pre_after_wr = std::max(bank.pre_after_wr, data_end + t.tWR);
+        } else {
+          bank.pre_after_rtp = std::max(bank.pre_after_rtp, now + t.tBURST);
+        }
+        group_cas[b % groups] = now + t.tCCD;
+        bus_free_at = data_end;
+        last_burst_was_write = is_write;
+
+        out.entries[cand->id] = GoldenEntry{GoldenOutcome::kServed, now, data_end, 0};
+        erase_id(pending, cand->id);
+        rr_bank = (b + 1) % num_banks;
+        break;
+      }
+
+      if (bank.open_row != kInvalidRow) {
+        // Demand precharge for a row-miss candidate.
+        const Cycle ready = std::max(
+            {bank.pre_after_ras, bank.pre_after_rtp, bank.pre_after_wr});
+        if (now < ready) continue;
+        bank.open_row = kInvalidRow;
+        bank.act_after_rp = std::max(bank.act_after_rp, now + t.tRP);
+        rr_bank = (b + 1) % num_banks;
+        break;
+      }
+
+      // Activate.
+      Cycle ready = std::max({bank.act_after_rc, bank.act_after_rp, act_after_rrd});
+      if (t.tFAW > 0 && acts_in_ring >= 4)
+        ready = std::max(ready, act_ring[act_ring_pos] + t.tFAW);
+      if (now < ready) continue;
+      bank.open_row = cand->row;
+      bank.cas_after_rcd = std::max(bank.cas_after_rcd, now + t.tRCD);
+      bank.pre_after_ras = std::max(bank.pre_after_ras, now + t.tRAS);
+      bank.act_after_rc = std::max(bank.act_after_rc, now + t.tRC);
+      act_after_rrd = std::max(act_after_rrd, now + t.tRRD);
+      act_ring[act_ring_pos] = now;
+      act_ring_pos = (act_ring_pos + 1) % 4;
+      if (acts_in_ring < 4) ++acts_in_ring;
+      rr_bank = (b + 1) % num_banks;
+      break;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace lazydram::check

@@ -1,0 +1,51 @@
+// Golden reference model: a deliberately simple, obviously-correct
+// re-implementation of FR-FCFS + GDDR5 bank timing that replays one
+// channel's recorded request stream and produces a canonical per-request
+// timeline.
+//
+// What it re-derives (and therefore independently verifies):
+//   * FR-FCFS selection — oldest row-buffer hit first, else the bank's
+//     oldest request — over a plain arrival-ordered vector (linear scans, no
+//     per-bank indices, no open-row caches);
+//   * the full bank state machine and every timing constraint (tRCD, tRP,
+//     tRC, tRAS, tRRD, tCCD bank + group scope, tCDLR, tWR, tFAW, data-bus
+//     occupancy with turnaround), tracked as per-rule bounds instead of the
+//     engine's folded next_* ledgers;
+//   * the round-robin command pass (one command per cycle, first legal bank
+//     wins, round-robin pointer advances past it).
+//
+// What it replays as recorded inputs (policy decisions that depend on
+// profiling state the golden model intentionally does not model): AMS drops
+// (by cycle), command-pass drop gates, and the DMS delay timeline. DMS age
+// *gating* itself is re-derived from the replayed delay value.
+#pragma once
+
+#include <unordered_map>
+
+#include "check/recorder.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace lazydram::check {
+
+enum class GoldenOutcome : std::uint8_t { kServed, kDropped };
+
+struct GoldenEntry {
+  GoldenOutcome outcome = GoldenOutcome::kServed;
+  Cycle cas_cycle = 0;   ///< RD/WR issue cycle (served only).
+  Cycle done_cycle = 0;  ///< Data-burst completion cycle (served only).
+  Cycle drop_cycle = 0;  ///< Drop cycle (dropped only).
+};
+
+struct GoldenTimeline {
+  /// False if replay hit the safety cap without draining the queue (a wedge
+  /// or a divergence so large the streams no longer line up).
+  bool completed = true;
+  Cycle end_cycle = 0;
+  std::unordered_map<RequestId, GoldenEntry> entries;
+};
+
+/// Replays `rec` against `cfg`'s timing and returns the canonical timeline.
+GoldenTimeline golden_replay(const ChannelRecording& rec, const GpuConfig& cfg);
+
+}  // namespace lazydram::check

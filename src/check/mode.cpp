@@ -1,0 +1,27 @@
+#include "check/mode.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace lazydram::check {
+
+CheckMode parse_check_mode(const std::string& text) {
+  if (text.empty() || text == "off") return CheckMode::kOff;
+  if (text == "log") return CheckMode::kLog;
+  if (text == "strict") return CheckMode::kStrict;
+  log_warn("unknown check mode '%s' (want off|log|strict); checking disabled",
+           text.c_str());
+  return CheckMode::kOff;
+}
+
+const char* check_mode_name(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kOff: return "off";
+    case CheckMode::kLog: return "log";
+    case CheckMode::kStrict: return "strict";
+  }
+  LD_ASSERT_MSG(false, "unreachable");
+  return "?";
+}
+
+}  // namespace lazydram::check

@@ -40,6 +40,9 @@ void GpuConfig::validate() const {
   LD_ASSERT(timing.tRAS + timing.tRP <= timing.tRC);
   LD_ASSERT(timing.tRCD <= timing.tRAS);
   LD_ASSERT(timing.tBURST > 0);
+  // A tFAW below tRRD would be weaker than the pairwise ACT spacing it is
+  // meant to tighten — certainly a typo.
+  if (timing.tFAW != 0) LD_ASSERT(timing.tFAW >= timing.tRRD);
 
   LD_ASSERT(scheme.min_delay <= scheme.max_delay);
   LD_ASSERT(scheme.delay_step > 0);
@@ -80,7 +83,8 @@ std::vector<std::pair<std::string, std::string>> GpuConfig::describe() const {
           ", tRC=" + std::to_string(timing.tRC) + ", tRAS=" + std::to_string(timing.tRAS) +
           ", tCCD=" + std::to_string(timing.tCCD) + ", tRCD=" + std::to_string(timing.tRCD) +
           ", tRRD=" + std::to_string(timing.tRRD) +
-          ", tCDLR=" + std::to_string(timing.tCDLR));
+          ", tCDLR=" + std::to_string(timing.tCDLR) +
+          (timing.tFAW != 0 ? ", tFAW=" + std::to_string(timing.tFAW) : ""));
   rows.emplace_back("Interconnect", "1 crossbar/direction (" + std::to_string(num_sms) +
                                         " SMs, " + std::to_string(num_channels) +
                                         " MCs), " + mhz(core_clock_mhz) + ", latency " +

@@ -26,6 +26,10 @@ struct DramTiming {
   unsigned tWL = 4;     ///< Write latency: WR -> first data beat.
   unsigned tWR = 12;    ///< Write recovery: last write data -> PRE of same bank.
   unsigned tBURST = 4;  ///< Data-bus occupancy of one 128B transaction.
+  /// Four-activate window: at most 4 ACTs per channel within any tFAW
+  /// cycles. Not listed in Table I, so it defaults to 0 (disabled) to keep
+  /// reproduced results bit-identical; set it to model current-limited parts.
+  unsigned tFAW = 0;
 };
 
 /// Event energies in nanojoules. Row energy (the quantity the paper reports)

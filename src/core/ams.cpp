@@ -51,6 +51,9 @@ bool AmsUnit::should_drop(const PendingQueue& queue, const MemRequest& candidate
   const BankId bank = candidate.loc.bank;
   const RowId row = candidate.loc.row;
   if (!queue.row_group_all_approximable(bank, row)) return false;
+  // Boundary audited: the paper drops when the observed RBL is <= Th_RBL
+  // ("rows with a low access count"), so exact equality DOES drop — the
+  // refusal is strictly `>`. Pinned by AmsUnit.DropsAtExactThRblBoundary.
   if (queue.row_group_size(bank, row) > th_rbl_) return false;
 
   return true;

@@ -13,13 +13,16 @@ LazyScheduler::LazyScheduler(const SchemeParams& params, const SchemeSpec& spec,
 
 Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
                                Cycle now) {
-  // 0. Drain an in-progress AMS row-group drop. A write arriving for the
-  //    row mid-drain ends the drain: the row will be activated for the
-  //    write anyway, so the remaining reads are served normally.
+  // 0. Drain an in-progress AMS row-group drop. A non-approximable request
+  //    arriving for the row mid-drain — a write OR a precise read — ends the
+  //    drain: the row will be activated for it anyway, so the remaining
+  //    reads are served normally. (Requiring only "all reads" here would
+  //    hand a precise read a predicted value; the protocol checker flags
+  //    that as kDropNotApproximable.)
   if (draining_[bank.bank] != kInvalidRow) {
     const RowId row = draining_[bank.bank];
     const MemRequest* r = queue.oldest_for_row(bank.bank, row);
-    if (r != nullptr && queue.row_group_all_reads(bank.bank, row))
+    if (r != nullptr && queue.row_group_all_approximable(bank.bank, row))
       return Decision::drop(r->id);
     draining_[bank.bank] = kInvalidRow;
     LD_ASSERT(draining_count_ > 0);

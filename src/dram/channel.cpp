@@ -35,6 +35,9 @@ bool DramChannel::can_issue(CommandKind kind, BankId bank, Cycle now) const {
   const Bank& b = banks_[bank];
   switch (kind) {
     case CommandKind::kActivate:
+      if (t_.tFAW > 0 && acts_in_window_ >= 4 &&
+          now < act_window_[act_window_pos_] + t_.tFAW)
+        return false;  // Fifth ACT inside the rolling four-activate window.
       return b.can_activate(now) && now >= next_act_any_bank_;
     case CommandKind::kPrecharge:
       return b.can_precharge(now);
@@ -55,6 +58,11 @@ Cycle DramChannel::issue(CommandKind kind, BankId bank, RowId row, Cycle now) {
     case CommandKind::kActivate:
       b.activate(row, now);
       next_act_any_bank_ = std::max(next_act_any_bank_, now + t_.tRRD);
+      if (t_.tFAW > 0) {
+        act_window_[act_window_pos_] = now;
+        act_window_pos_ = (act_window_pos_ + 1) % 4;
+        if (acts_in_window_ < 4) ++acts_in_window_;
+      }
       energy_.on_activation();
       return now;
 

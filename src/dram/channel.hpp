@@ -3,6 +3,7 @@
 // Channel-scope rules enforced here on top of the per-bank ledgers:
 //  * one command per channel per memory cycle (shared command bus),
 //  * tRRD between ACTs to different banks,
+//  * tFAW: at most four ACTs per rolling tFAW window (when configured),
 //  * tCCD between column accesses within the same bank group,
 //  * exclusive data-bus occupancy of tBURST cycles per column access, with a
 //    2-cycle bubble when the bus reverses direction (RD<->WR turnaround).
@@ -66,6 +67,10 @@ class DramChannel {
   std::vector<Bank> banks_;
 
   Cycle next_act_any_bank_ = 0;          ///< tRRD gate.
+  /// tFAW gate: cycles of the last four ACTs (rolling; unused when tFAW==0).
+  Cycle act_window_[4] = {0, 0, 0, 0};
+  unsigned act_window_pos_ = 0;
+  unsigned acts_in_window_ = 0;
   std::vector<Cycle> next_cas_in_group_; ///< tCCD gate per bank group.
   Cycle bus_free_at_ = 0;                ///< First cycle the data bus is free.
   bool last_burst_was_write_ = false;

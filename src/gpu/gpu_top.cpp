@@ -1,12 +1,14 @@
 #include "gpu/gpu_top.hpp"
 
+#include "check/context.hpp"
 #include "common/assert.hpp"
+#include "mem/fcfs.hpp"
 
 namespace lazydram::gpu {
 
 GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
                const SchedulerFactory& factory, RowPolicy row_policy,
-               telemetry::Telemetry* telemetry)
+               telemetry::Telemetry* telemetry, check::CheckContext* check)
     : cfg_(cfg),
       workload_(workload),
       mapper_(cfg),
@@ -30,15 +32,40 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
 
   if (telemetry != nullptr) tracer_ = &telemetry->tracer();
 
+  if (check != nullptr && !check->active()) check = nullptr;
+
   partitions_.reserve(cfg.num_channels);
+  checkers_.assign(cfg.num_channels, nullptr);
   for (ChannelId ch = 0; ch < cfg.num_channels; ++ch) {
     Partition& p = partitions_.emplace_back(cfg.l2);
     std::unique_ptr<Scheduler> sched = factory(ch);
     p.lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
+    const bool is_fcfs = dynamic_cast<FcfsScheduler*>(sched.get()) != nullptr;
     if (tracer_ != nullptr && p.lazy != nullptr) p.lazy->set_telemetry(tracer_, ch);
     p.mc = std::make_unique<MemoryController>(cfg_, ch, mapper_, std::move(sched),
                                               row_policy);
     if (tracer_ != nullptr) p.mc->set_tracer(tracer_);
+    if (check != nullptr) {
+      if (check->config().mode != check::CheckMode::kOff) {
+        check::CheckerOptions opts;
+        opts.mode = check->config().mode;
+        opts.starvation_bound = check->config().starvation_bound;
+        // Plain FCFS legitimately closes rows with younger hits pending;
+        // every other policy in the repo is hit-first.
+        opts.hit_first = !is_fcfs;
+        opts.ams_allowed = p.lazy != nullptr && p.lazy->spec().ams_enabled;
+        opts.coverage_cap = cfg.scheme.coverage_cap;
+        check::ProtocolChecker* ck = check->add_checker(cfg_, ch, opts);
+        ck->set_tracer(tracer_);
+        p.mc->set_checker(ck);
+        checkers_[ch] = ck;
+      }
+      if (check->config().record) {
+        check::ChannelRecorder* rec = check->add_recorder(ch);
+        if (p.lazy != nullptr) rec->set_spec(p.lazy->spec());
+        p.mc->set_recorder(rec);
+      }
+    }
     if (telemetry != nullptr && telemetry->window_sampling())
       p.mc->enable_window_sampling(cfg.scheme.profile_window, tracer_);
     p.vp = std::make_unique<core::ValuePredictor>(
@@ -289,6 +316,13 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
                     [lz] { return lz->ams().coverage(); });
       hub.add_counter(channel_stat("core", ch, "ams.reads_dropped"),
                       [lz] { return lz->ams().reads_dropped(); });
+    }
+
+    if (const check::ProtocolChecker* ck = checkers_[ch]) {
+      hub.add_counter(channel_stat("check", ch, "commands"),
+                      [ck] { return ck->commands_checked(); });
+      hub.add_counter(channel_stat("check", ch, "violations"),
+                      [ck] { return ck->violation_count(); });
     }
   }
 }

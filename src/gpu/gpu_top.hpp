@@ -27,6 +27,13 @@
 #include "mem/controller.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace lazydram {
+namespace check {
+class CheckContext;
+class ProtocolChecker;
+}  // namespace check
+}  // namespace lazydram
+
 namespace lazydram::gpu {
 
 class GpuTop {
@@ -40,9 +47,14 @@ class GpuTop {
   /// wired into every controller/scheduler, and window sampling is enabled
   /// on each channel when requested. Purely observational — a run's
   /// RunMetrics are bit-identical with or without it.
+  /// `check` (nullable) attaches the verification layer: a protocol checker
+  /// and/or request-stream recorder per channel, per its CheckConfig. The
+  /// checker observes but never schedules, so (outside of a strict-mode
+  /// throw) a run's results are bit-identical with or without it.
   GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
          const SchedulerFactory& factory, RowPolicy row_policy = RowPolicy::kOpenRow,
-         telemetry::Telemetry* telemetry = nullptr);
+         telemetry::Telemetry* telemetry = nullptr,
+         check::CheckContext* check = nullptr);
 
   /// Runs until the workload finishes and the memory system drains, or
   /// `max_core_cycles` elapse. Returns true iff it finished.
@@ -120,6 +132,9 @@ class GpuTop {
   Cycle mem_now_ = 0;
   RequestId next_request_id_ = 1;
   telemetry::Tracer* tracer_ = nullptr;  ///< Borrowed; null when detached.
+  /// Per-channel checkers, borrowed from the CheckContext (empty when
+  /// checking is off; used only for stats registration).
+  std::vector<check::ProtocolChecker*> checkers_;
 
   /// Caps on per-core-cycle partition work (ports).
   static constexpr unsigned kInputsPerCycle = 2;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/checker.hpp"
+#include "check/recorder.hpp"
 #include "common/assert.hpp"
 
 namespace lazydram {
@@ -32,6 +34,8 @@ void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
   else
     ++writes_received_;
   scheduler_->on_enqueue(req);
+  if (checker_ != nullptr) checker_->on_enqueue(req, now_mem);
+  if (recorder_ != nullptr) recorder_->on_enqueue(req);
   queue_.push(std::move(req));
 }
 
@@ -61,8 +65,10 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
     const CommandKind cas = req.is_read() ? CommandKind::kRead : CommandKind::kWrite;
     if (!dram_.can_issue(cas, b, now)) return false;
     const Cycle done = dram_.issue(cas, b, req.loc.row, now);
+    if (checker_ != nullptr) checker_->on_command(cas, b, req.loc.row, now, queue_);
     MemRequest popped = queue_.erase(req.id);
     scheduler_->on_serve(popped);
+    if (recorder_ != nullptr) recorder_->on_serve(popped.id, now, done);
     inflight_.push_back(InFlight{std::move(popped), done});
     return true;
   }
@@ -73,11 +79,15 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
     // may legitimately close a row that still has younger hits pending.)
     if (!dram_.can_issue(CommandKind::kPrecharge, b, now)) return false;
     dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
+    if (checker_ != nullptr)
+      checker_->on_command(CommandKind::kPrecharge, b, kInvalidRow, now, queue_);
     return true;
   }
 
   if (!dram_.can_issue(CommandKind::kActivate, b, now)) return false;
   dram_.issue(CommandKind::kActivate, b, req.loc.row, now);
+  if (checker_ != nullptr)
+    checker_->on_command(CommandKind::kActivate, b, req.loc.row, now, queue_);
   if (tracer_ != nullptr) tracer_->row_activate(now, id_, b, req.loc.row);
   return true;
 }
@@ -100,6 +110,12 @@ void MemoryController::issue_one_command(Cycle now) {
       continue;  // Command not legal this cycle; give other banks a chance.
     }
 
+    // A kDrop answer in the command pass is a gate: the bank issues nothing
+    // this cycle (the drop itself, if any, already ran in the drop pass).
+    // Recorded so golden replay skips the bank at exactly this point.
+    if (d.action == Decision::Action::kDrop && recorder_ != nullptr)
+      recorder_->on_drop_gate(b, now);
+
     // Closed-row ablation: precharge banks left open with no work for the
     // open row. (Under open-row policy rows stay open until a conflict.)
     if (row_policy_ == RowPolicy::kClosedRow && bank.row_open() &&
@@ -107,6 +123,8 @@ void MemoryController::issue_one_command(Cycle now) {
         queue_.oldest_for_row(b, bank.open_row()) == nullptr &&
         dram_.can_issue(CommandKind::kPrecharge, b, now)) {
       dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
+      if (checker_ != nullptr)
+        checker_->on_command(CommandKind::kPrecharge, b, kInvalidRow, now, queue_);
       rr_bank_ = (b + 1) % num_banks_;
       return;
     }
@@ -116,6 +134,14 @@ void MemoryController::issue_one_command(Cycle now) {
 void MemoryController::tick(Cycle now_mem) {
   complete_bursts(now_mem);
   scheduler_->tick(now_mem, dram_.bus_busy_cycles());
+  if (checker_ != nullptr) checker_->on_tick(queue_, now_mem);
+  if (recorder_ != nullptr) {
+    // The golden model re-derives DMS gating from the delay value that is
+    // current *at decision time*, i.e. after the scheduler's tick above.
+    telemetry::WindowProbe p;
+    scheduler_->fill_probe(p);
+    recorder_->on_delay(now_mem, p.dms_delay);
+  }
 
   // At most one AMS drop per cycle ("dropped sequentially in the following
   // memory cycles", Section IV-C). Drops use the reply path, not the DRAM
@@ -126,10 +152,16 @@ void MemoryController::tick(Cycle now_mem) {
     const BankView view{b, bank.row_open(), bank.open_row()};
     const Decision d = scheduler_->decide(queue_, view, now_mem);
     if (d.action != Decision::Action::kDrop) continue;
+    if (checker_ != nullptr) {
+      const MemRequest* victim = queue_.find(d.req_id);
+      LD_ASSERT(victim != nullptr);
+      checker_->on_drop(*victim, now_mem, queue_);
+    }
     MemRequest dropped = queue_.erase(d.req_id);
     LD_ASSERT_MSG(dropped.is_read(), "AMS must only drop reads");
     ++reads_dropped_;
     scheduler_->on_drop(dropped);
+    if (recorder_ != nullptr) recorder_->on_drop(dropped.id, now_mem);
     if (tracer_ != nullptr)
       tracer_->row_group_drop(now_mem, id_, dropped.loc.bank, dropped.loc.row, dropped.id);
     replies_.push_back(MemReply{dropped.id, dropped.line_addr, dropped.src_sm,
@@ -149,6 +181,12 @@ std::optional<MemReply> MemoryController::pop_reply(Cycle now_mem) {
   MemReply r = replies_.front();
   replies_.pop_front();
   return r;
+}
+
+void MemoryController::inject_command_for_test(dram::CommandKind kind, BankId bank,
+                                               RowId row, Cycle now) {
+  LD_ASSERT_MSG(checker_ != nullptr, "inject_command_for_test needs a checker");
+  checker_->on_command(kind, bank, row, now, queue_);
 }
 
 void MemoryController::finalize() {

@@ -31,6 +31,11 @@
 
 namespace lazydram {
 
+namespace check {
+class ProtocolChecker;
+class ChannelRecorder;
+}  // namespace check
+
 enum class RowPolicy { kOpenRow, kClosedRow };
 
 class MemoryController {
@@ -88,6 +93,23 @@ class MemoryController {
   /// Snapshot of this channel's cumulative counters + policy gauges.
   telemetry::WindowProbe telemetry_probe() const;
 
+  // --- Verification (optional observers; null costs one check per event) ---
+
+  /// Attaches a protocol checker observing every enqueue/command/drop/tick
+  /// (nullable to detach). The checker never feeds back into scheduling.
+  void set_checker(check::ProtocolChecker* checker) { checker_ = checker; }
+
+  /// Attaches a request-stream recorder for golden-model differential replay
+  /// (nullable to detach).
+  void set_recorder(check::ChannelRecorder* recorder) { recorder_ = recorder; }
+
+  /// Test-only: feeds a command to the attached checker as if the engine had
+  /// issued it, without touching the DRAM model. Lets tests prove that an
+  /// illegal command is caught (there is no way to coax the real engine into
+  /// issuing one).
+  void inject_command_for_test(dram::CommandKind kind, BankId bank, RowId row,
+                               Cycle now);
+
  private:
   struct InFlight {
     MemRequest req;
@@ -124,6 +146,9 @@ class MemoryController {
 
   telemetry::Tracer* tracer_ = nullptr;
   std::unique_ptr<telemetry::WindowSampler> sampler_;
+
+  check::ProtocolChecker* checker_ = nullptr;    ///< Borrowed; null when off.
+  check::ChannelRecorder* recorder_ = nullptr;   ///< Borrowed; null when off.
 };
 
 }  // namespace lazydram

@@ -1,0 +1,181 @@
+#include "sim/diff.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "check/context.hpp"
+#include "check/golden.hpp"
+#include "common/assert.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "gpu/gpu_top.hpp"
+#include "workloads/registry.hpp"
+
+namespace lazydram::sim {
+
+namespace {
+
+constexpr std::size_t kMaxDivergences = 8;
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+struct Observed {
+  bool dropped = false;
+  Cycle cas_cycle = 0;
+  Cycle done_cycle = 0;
+  Cycle drop_cycle = 0;
+};
+
+std::string describe_arrival(const check::RecordedArrival& a) {
+  return fmt("request %" PRIu64 " bank %u row %" PRIu64 " enqueued at %" PRIu64
+             " (%s%s)",
+             a.id, a.bank, a.row, a.enqueue_cycle, a.is_read ? "read" : "write",
+             a.approximable ? ", approximable" : "");
+}
+
+std::string describe_observed(const Observed& o) {
+  if (o.dropped) return fmt("dropped at cycle %" PRIu64, o.drop_cycle);
+  return fmt("served: CAS at %" PRIu64 ", data done at %" PRIu64, o.cas_cycle,
+             o.done_cycle);
+}
+
+std::string describe_golden(const check::GoldenEntry& g) {
+  if (g.outcome == check::GoldenOutcome::kDropped)
+    return fmt("dropped at cycle %" PRIu64, g.drop_cycle);
+  return fmt("served: CAS at %" PRIu64 ", data done at %" PRIu64, g.cas_cycle,
+             g.done_cycle);
+}
+
+}  // namespace
+
+DiffResult DiffHarness::run(const std::string& workload_name,
+                            const core::SchemeSpec& spec, check::CheckMode mode) {
+  DiffResult result;
+  result.workload = workload_name;
+  result.scheme = core::scheme_name(spec.kind);
+  result.channels = cfg_.num_channels;
+
+  const std::unique_ptr<workloads::Workload> wl =
+      workloads::make_workload(workload_name);
+
+  check::CheckConfig check_cfg;
+  check_cfg.mode = mode;
+  check_cfg.record = true;
+  check::CheckContext ctx(check_cfg);
+
+  const GpuConfig& cfg = cfg_;
+  gpu::GpuTop::SchedulerFactory factory = [&](ChannelId) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
+                                                 cfg.banks_per_channel);
+  };
+
+  gpu::GpuTop top(cfg_, *wl, factory, RowPolicy::kOpenRow, nullptr, &ctx);
+  const bool finished = top.run();
+  LD_ASSERT_MSG(finished, "diff run hit max_core_cycles before completing");
+
+  for (ChannelId ch = 0; ch < cfg_.num_channels; ++ch) {
+    const check::ChannelRecorder* rec = ctx.recorder(ch);
+    LD_ASSERT(rec != nullptr);
+    const check::ChannelRecording& recording = rec->recording();
+    result.requests += recording.arrivals.size();
+
+    const check::GoldenTimeline golden = check::golden_replay(recording, cfg_);
+    if (!golden.completed) {
+      result.golden_completed = false;
+      result.divergences.push_back(DiffDivergence{
+          ch, 0, recording.last_cycle,
+          fmt("channel %u: golden replay did not drain (wedged past cycle "
+              "%" PRIu64 ") — the streams no longer line up",
+              ch, recording.last_cycle)});
+      continue;
+    }
+
+    std::unordered_map<RequestId, Observed> observed;
+    observed.reserve(recording.arrivals.size());
+    for (const check::RecordedServe& s : recording.serves)
+      observed[s.id] = Observed{false, s.cas_cycle, s.done_cycle, 0};
+    for (const check::RecordedDrop& d : recording.drops)
+      observed[d.id] = Observed{true, 0, 0, d.cycle};
+
+    std::vector<DiffDivergence> channel_divs;
+    for (const check::RecordedArrival& a : recording.arrivals) {
+      const auto oit = observed.find(a.id);
+      const auto git = golden.entries.find(a.id);
+      const bool have_obs = oit != observed.end();
+      const bool have_gold = git != golden.entries.end();
+
+      std::string delta;
+      Cycle at = a.enqueue_cycle;
+      if (!have_obs && !have_gold) {
+        delta = "neither side served or dropped it";
+      } else if (!have_obs) {
+        delta = fmt("golden %s, simulator never completed it",
+                    describe_golden(git->second).c_str());
+        at = git->second.outcome == check::GoldenOutcome::kDropped
+                 ? git->second.drop_cycle
+                 : git->second.cas_cycle;
+      } else if (!have_gold) {
+        delta = fmt("simulator %s, golden never completed it",
+                    describe_observed(oit->second).c_str());
+        at = oit->second.dropped ? oit->second.drop_cycle : oit->second.cas_cycle;
+      } else {
+        const Observed& o = oit->second;
+        const check::GoldenEntry& g = git->second;
+        const bool gold_dropped = g.outcome == check::GoldenOutcome::kDropped;
+        if (o.dropped == gold_dropped &&
+            (o.dropped ? o.drop_cycle == g.drop_cycle
+                       : (o.cas_cycle == g.cas_cycle && o.done_cycle == g.done_cycle)))
+          continue;  // Timelines agree.
+        delta = fmt("simulator %s; golden %s", describe_observed(o).c_str(),
+                    describe_golden(g).c_str());
+        at = std::min(o.dropped ? o.drop_cycle : o.cas_cycle,
+                      gold_dropped ? g.drop_cycle : g.cas_cycle);
+      }
+      channel_divs.push_back(
+          DiffDivergence{ch, a.id, at, describe_arrival(a) + ": " + delta});
+    }
+
+    std::stable_sort(channel_divs.begin(), channel_divs.end(),
+                     [](const DiffDivergence& x, const DiffDivergence& y) {
+                       return x.cycle < y.cycle;
+                     });
+    for (DiffDivergence& d : channel_divs) {
+      if (result.divergences.size() >= kMaxDivergences) break;
+      result.divergences.push_back(std::move(d));
+    }
+  }
+
+  std::stable_sort(result.divergences.begin(), result.divergences.end(),
+                   [](const DiffDivergence& x, const DiffDivergence& y) {
+                     return x.cycle < y.cycle;
+                   });
+  return result;
+}
+
+std::string DiffHarness::format_divergence(const DiffResult& result) {
+  if (result.ok()) return "";
+  std::string out = fmt("DIVERGENCE  workload=%s scheme=%s (%" PRIu64
+                        " requests over %u channels, %zu divergence(s) shown)\n",
+                        result.workload.c_str(), result.scheme.c_str(),
+                        result.requests, result.channels,
+                        result.divergences.size());
+  for (const DiffDivergence& d : result.divergences) {
+    out += fmt("  first at cycle %" PRIu64 " ch%u: %s\n", d.cycle, d.channel,
+               d.context.c_str());
+  }
+  out +=
+      "  triage: re-run with LAZYDRAM_CHECK=log for protocol violations, then "
+      "LAZYDRAM_TRACE=<path> and grep the first divergent request id.\n";
+  return out;
+}
+
+}  // namespace lazydram::sim

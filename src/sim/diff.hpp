@@ -1,0 +1,58 @@
+// Differential verification harness: runs a (workload, scheme) pair on the
+// full optimized simulator with per-channel stream recording enabled, replays
+// each channel's recording through the golden reference model
+// (check::golden_replay), and diffs the two per-request timelines. Any
+// difference — outcome (served vs dropped), CAS cycle, completion cycle, a
+// request present on one side only — is a divergence; the harness reports the
+// earliest ones with full context.
+//
+// tools/diffcheck wraps this in a CLI; test_check exercises it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/mode.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/scheme.hpp"
+
+namespace lazydram::sim {
+
+struct DiffDivergence {
+  ChannelId channel = 0;
+  RequestId id = 0;
+  Cycle cycle = 0;      ///< Earliest cycle either side touched the request.
+  std::string context;  ///< Multi-line human-readable description.
+};
+
+struct DiffResult {
+  std::string workload;
+  std::string scheme;
+  std::uint64_t requests = 0;  ///< Requests compared across all channels.
+  unsigned channels = 0;
+  bool golden_completed = true;  ///< False if any channel's replay wedged.
+  std::vector<DiffDivergence> divergences;  ///< Earliest first, capped.
+
+  bool ok() const { return golden_completed && divergences.empty(); }
+};
+
+class DiffHarness {
+ public:
+  explicit DiffHarness(const GpuConfig& cfg = GpuConfig{}) : cfg_(cfg) {}
+
+  /// Runs `workload_name` under `spec` (LazyScheduler policy) and diffs the
+  /// optimized timeline against the golden model. `mode` additionally arms
+  /// the runtime protocol checker during the run.
+  DiffResult run(const std::string& workload_name, const core::SchemeSpec& spec,
+                 check::CheckMode mode = check::CheckMode::kLog);
+
+  /// Formats the first divergence (or the wedge notice) as a readable block
+  /// for CI artifacts; empty string when `result.ok()`.
+  static std::string format_divergence(const DiffResult& result);
+
+ private:
+  GpuConfig cfg_;
+};
+
+}  // namespace lazydram::sim

@@ -24,6 +24,7 @@ RunConfig ExperimentRunner::make_config(const core::SchemeSpec& spec,
   config.gpu = cfg_;
   config.spec = spec;
   config.compute_error = compute_error;
+  config.check = check_;
   return config;
 }
 

@@ -50,6 +50,13 @@ class ExperimentRunner {
   void set_jobs(unsigned jobs) { engine_.set_jobs(jobs); }
   unsigned jobs() const { return engine_.jobs(); }
 
+  /// Protocol-checker mode for every run this runner launches, serial or
+  /// flushed ("off" | "log" | "strict"; "" defers to $LAZYDRAM_CHECK).
+  void set_check(const std::string& mode) {
+    check_ = mode;
+    engine_.set_check(mode);
+  }
+
   /// Queue the run_* counterpart's job for the next flush() (no-ops when the
   /// result is already cached or already queued).
   void prefetch(const std::string& workload, const core::SchemeSpec& spec,
@@ -83,6 +90,7 @@ class ExperimentRunner {
                               const std::string& key);
 
   GpuConfig cfg_;
+  std::string check_;  ///< Checker mode stamped into every make_config().
   std::map<std::string, RunMetrics> cache_;
 
   SweepEngine engine_;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/context.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "gpu/gpu_top.hpp"
@@ -60,9 +61,16 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
   tele.set_window_sampling(config.window_sampling || !trace_path.empty() ||
                                 !json_path.empty());
 
+  std::string check_text = config.check;
+  if (check_text.empty()) check_text = telemetry::env_string("LAZYDRAM_CHECK");
+  check::CheckConfig check_cfg;
+  check_cfg.mode = check::parse_check_mode(check_text);
+  if (config.check_age_bound != 0) check_cfg.starvation_bound = config.check_age_bound;
+  check::CheckContext check_ctx(check_cfg);
+
   RunOutput out;
   const auto setup_start = std::chrono::steady_clock::now();
-  gpu::GpuTop top(cfg, workload, factory, config.row_policy, &tele);
+  gpu::GpuTop top(cfg, workload, factory, config.row_policy, &tele, &check_ctx);
   top.register_stats(tele.hub());
   out.telemetry.profile.setup_seconds = seconds_since(setup_start);
 
@@ -88,6 +96,13 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
                                                        : std::vector<telemetry::WindowSample>{});
   }
   out.telemetry.stats = tele.hub().snapshot();
+
+  // Log-mode violations don't abort the run; make sure they can't scroll
+  // away unnoticed either.
+  if (check_ctx.total_violations() > 0)
+    log_warn("protocol checker found %llu violation(s) in scheme '%s'",
+             static_cast<unsigned long long>(check_ctx.total_violations()),
+             label.c_str());
 
   if (!json_path.empty()) write_json_report(json_path, out.metrics, out.telemetry);
   return out;

@@ -36,6 +36,14 @@ struct RunConfig {
   std::string trace_path;   ///< JSONL event trace; "" defers to $LAZYDRAM_TRACE.
   std::string json_report_path;  ///< JSON run report; "" defers to $LAZYDRAM_JSON.
   bool window_sampling = false;  ///< Forced on when either path resolves non-empty.
+
+  // --- Verification ---
+  /// Protocol-checker mode: "off" | "log" | "strict"; "" defers to
+  /// $LAZYDRAM_CHECK. In strict mode the first violation throws
+  /// check::ViolationError.
+  std::string check;
+  /// Starvation bound for the checker (memory cycles); 0 keeps the default.
+  Cycle check_age_bound = 0;
 };
 
 /// Runs `workload` under `config` to completion and returns the metrics.

@@ -71,11 +71,17 @@ std::vector<SweepResult> SweepEngine::run(std::vector<SweepJob> sweep_jobs) {
   // upgrades serial sweeps, where the runs used to overwrite one file.)
   const std::string env_trace = telemetry::env_string("LAZYDRAM_TRACE");
   const std::string env_json = telemetry::env_string("LAZYDRAM_JSON");
+  // Resolve the checked mode up front too (set_check wins over the env), so
+  // workers never touch the environment.
+  const std::string check_mode =
+      !check_override_.empty() ? check_override_
+                               : telemetry::env_string("LAZYDRAM_CHECK");
   for (SweepJob& job : sweep_jobs) {
     if (job.config.trace_path.empty() && !env_trace.empty())
       job.config.trace_path = derived_output_path(env_trace, job.label);
     if (job.config.json_report_path.empty() && !env_json.empty())
       job.config.json_report_path = derived_output_path(env_json, job.label);
+    if (job.config.check.empty()) job.config.check = check_mode;
   }
 
   // Resolve the lazily-cached log level on this thread before any worker can
@@ -150,6 +156,18 @@ unsigned parse_jobs(int argc, char** argv) {
     return static_cast<unsigned>(v);
   }
   return default_jobs();
+}
+
+std::string parse_check(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") != 0) continue;
+    if (i + 1 >= argc) {
+      log_warn("--check given without a value (want off|log|strict); ignoring");
+      break;
+    }
+    return argv[i + 1];
+  }
+  return "";
 }
 
 std::string sanitize_label(const std::string& label) {

@@ -66,6 +66,13 @@ class SweepEngine {
   /// through default_jobs() again).
   void set_jobs(unsigned jobs);
 
+  /// Checked mode: every job whose RunConfig leaves `check` empty runs with
+  /// this protocol-checker mode ("off" | "log" | "strict"; "" defers to
+  /// $LAZYDRAM_CHECK). A strict-mode violation fails only its own job — the
+  /// fault-isolation boundary captures the ViolationError into that job's
+  /// SweepResult and the rest of the sweep still runs.
+  void set_check(const std::string& mode) { check_override_ = mode; }
+
   /// Runs every job (at most jobs() concurrently) and returns the results in
   /// submission order. Accumulates into profile() across calls.
   std::vector<SweepResult> run(std::vector<SweepJob> sweep_jobs);
@@ -75,6 +82,7 @@ class SweepEngine {
  private:
   unsigned jobs_;
   SweepProfile profile_;
+  std::string check_override_;
 };
 
 /// $LAZYDRAM_JOBS if set to a positive integer, else hardware concurrency
@@ -84,6 +92,11 @@ unsigned default_jobs();
 /// `--jobs N` from argv, else default_jobs(). `--jobs` without a value (or a
 /// non-positive one) warns and is ignored.
 unsigned parse_jobs(int argc, char** argv);
+
+/// `--check MODE` from argv, else "" (which defers to $LAZYDRAM_CHECK).
+/// `--check` without a value warns and is ignored; the mode string itself is
+/// validated later by check::parse_check_mode.
+std::string parse_check(int argc, char** argv);
 
 /// `label` reduced to [A-Za-z0-9._-] (everything else becomes '_') so it is
 /// safe inside a file name.

@@ -16,6 +16,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kDmsStallEnd: return "stall_end";
     case EventKind::kDmsDelayChange: return "dms_delay";
     case EventKind::kAmsThresholdChange: return "ams_th";
+    case EventKind::kCheckViolation: return "check";
   }
   LD_ASSERT_MSG(false, "unreachable");
   return "?";
@@ -58,6 +59,9 @@ void JsonlTraceSink::on_event(const TraceEvent& e) {
     case EventKind::kAmsThresholdChange:
       std::fprintf(out_, ",\"from\":%" PRIu64 ",\"to\":%" PRIu64 ",\"coverage\":%.17g",
                    e.b, e.a, e.f);
+      break;
+    case EventKind::kCheckViolation:
+      std::fprintf(out_, ",\"code\":%" PRIu64, e.a);
       break;
   }
   std::fputs("}\n", out_);

@@ -13,6 +13,8 @@
 //                         age-gated by the DMS delay.
 //   kDmsDelayChange     - Dyn-DMS moved the delay at a window boundary.
 //   kAmsThresholdChange - Dyn-AMS moved Th_RBL at a window boundary.
+//   kCheckViolation     - the protocol checker flagged a violation (the
+//                         numeric code is check::ViolationKind).
 //   (WindowSample records from the windowed sampler share the same sinks.)
 #pragma once
 
@@ -33,6 +35,7 @@ enum class EventKind : std::uint8_t {
   kDmsStallEnd,
   kDmsDelayChange,
   kAmsThresholdChange,
+  kCheckViolation,
 };
 
 /// Short stable name used as the JSONL "type" field.
@@ -160,6 +163,11 @@ class Tracer {
                             double window_coverage) {
     if (sink_ == nullptr) return;
     emit({EventKind::kAmsThresholdChange, cycle, ch, -1, to, from, window_coverage});
+  }
+
+  void check_violation(Cycle cycle, ChannelId ch, std::int32_t bank, unsigned code) {
+    if (sink_ == nullptr) return;
+    emit({EventKind::kCheckViolation, cycle, ch, bank, code, 0, 0.0});
   }
 
  private:

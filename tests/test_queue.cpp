@@ -2,7 +2,10 @@
 // queries, erase semantics and capacity behaviour.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "dram/address.hpp"
 #include "mem/pending_queue.hpp"
 
@@ -91,6 +94,105 @@ TEST_F(QueueTest, IterationIsArrivalOrdered) {
   queue_.push(make(7, 3, 3, 0));
   RequestId expected = 5;
   for (const MemRequest& r : queue_) EXPECT_EQ(r.id, expected++);
+}
+
+// Property test: the indexed queue must agree with a naive arrival-ordered
+// vector model on every query, across a long random stream of pushes and
+// erases. Seeded (common/rng), so a failure reproduces bit-for-bit.
+TEST(QueueFuzz, MatchesNaiveModelOverRandomOps) {
+  GpuConfig cfg;
+  cfg.validate();
+  AddressMapper mapper(cfg);
+  const unsigned kBanks = cfg.banks_per_channel;
+  const RowId kRows = 8;
+  PendingQueue queue(64, kBanks);
+  std::vector<MemRequest> model;  // Arrival order, like the queue.
+  Rng rng(0xC0FFEEu);
+  RequestId next_id = 1;
+
+  const auto model_oldest_for_bank = [&](BankId bank) -> const MemRequest* {
+    for (const MemRequest& r : model)
+      if (r.loc.bank == bank) return &r;
+    return nullptr;
+  };
+  const auto model_oldest_for_row = [&](BankId bank, RowId row) -> const MemRequest* {
+    for (const MemRequest& r : model)
+      if (r.loc.bank == bank && r.loc.row == row) return &r;
+    return nullptr;
+  };
+
+  for (unsigned op = 0; op < 12000; ++op) {
+    const std::uint64_t roll = rng.next_below(10);
+    if (roll < 5 && !queue.full()) {
+      MemRequest r;
+      r.id = next_id++;
+      const BankId bank = static_cast<BankId>(rng.next_below(kBanks));
+      const RowId row = rng.next_below(kRows);
+      const std::uint32_t col = static_cast<std::uint32_t>(rng.next_below(16));
+      r.line_addr = mapper.compose(0, bank, row, col * kLineBytes);
+      r.kind = rng.next_bool(0.25) ? AccessKind::kWrite : AccessKind::kRead;
+      r.approximable = r.kind == AccessKind::kRead && rng.next_bool(0.5);
+      r.loc = mapper.map(r.line_addr);
+      queue.push(r);
+      model.push_back(r);
+    } else if (roll < 8 && !model.empty()) {
+      const std::size_t idx = rng.next_below(model.size());
+      const RequestId id = model[idx].id;
+      const MemRequest erased = queue.erase(id);
+      EXPECT_EQ(erased.id, id);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+
+    // Invariants, checked every iteration against the model.
+    ASSERT_EQ(queue.size(), model.size());
+    const MemRequest* oldest = queue.oldest();
+    if (model.empty()) {
+      EXPECT_EQ(oldest, nullptr);
+    } else {
+      ASSERT_NE(oldest, nullptr);
+      EXPECT_EQ(oldest->id, model.front().id);
+    }
+
+    const BankId bank = static_cast<BankId>(rng.next_below(kBanks));
+    const RowId row = rng.next_below(kRows);
+
+    const MemRequest* qb = queue.oldest_for_bank(bank);
+    const MemRequest* mb = model_oldest_for_bank(bank);
+    ASSERT_EQ(qb == nullptr, mb == nullptr);
+    if (qb != nullptr) {
+      EXPECT_EQ(qb->id, mb->id);
+    }
+
+    const MemRequest* qr = queue.oldest_for_row(bank, row);
+    const MemRequest* mr = model_oldest_for_row(bank, row);
+    ASSERT_EQ(qr == nullptr, mr == nullptr);
+    if (qr != nullptr) {
+      EXPECT_EQ(qr->id, mr->id);
+    }
+
+    unsigned size = 0;
+    bool all_reads = true;
+    bool all_approx = true;
+    for (const MemRequest& r : model) {
+      if (r.loc.bank != bank || r.loc.row != row) continue;
+      ++size;
+      all_reads = all_reads && r.is_read();
+      all_approx = all_approx && r.is_read() && r.approximable;
+    }
+    ASSERT_EQ(queue.row_group_size(bank, row), size);
+    // Both predicates are vacuously true for an empty group.
+    EXPECT_EQ(queue.row_group_all_reads(bank, row), all_reads);
+    EXPECT_EQ(queue.row_group_all_approximable(bank, row), all_approx);
+
+    // find(): a live id resolves, a retired one does not.
+    if (!model.empty()) {
+      const MemRequest& probe = model[rng.next_below(model.size())];
+      const MemRequest* found = queue.find(probe.id);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->line_addr, probe.line_addr);
+    }
+    EXPECT_EQ(queue.find(next_id), nullptr);  // Never-issued id.
+  }
 }
 
 }  // namespace

@@ -265,6 +265,47 @@ TEST_F(SchedulerTest, DrainDropsWholeRowGroupThenStops) {
   EXPECT_EQ(queue_.find(d.req_id)->loc.row, 6u);
 }
 
+TEST_F(SchedulerTest, PreciseReadArrivingMidDrainEndsTheDrain) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  lazy.on_enqueue(push(1, 0, 5, 0));
+  lazy.on_enqueue(push(2, 0, 5, 1));
+  const Decision first = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100);
+  ASSERT_EQ(first.action, Decision::Action::kDrop);
+  lazy.on_drop(queue_.erase(first.req_id));
+
+  // A precise (non-approximable) read for the draining row arrives: dropping
+  // it would hand a precise read a predicted value. The drain must end and
+  // the remaining approximable reads are served normally alongside it.
+  lazy.on_enqueue(push(3, 0, 5, 2, AccessKind::kRead, /*approx=*/false));
+  const Decision next = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 101);
+  EXPECT_EQ(next.action, Decision::Action::kServe);
+  EXPECT_EQ(next.req_id, 2u);
+}
+
+TEST_F(SchedulerTest, ApproximableArrivalJoinsTheDrain) {
+  core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kStaticAms, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  lazy.set_ams_ready(true);
+  lazy.on_enqueue(push(1, 0, 5, 0));
+  lazy.on_enqueue(push(2, 0, 5, 1));
+  const Decision first = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 100);
+  ASSERT_EQ(first.action, Decision::Action::kDrop);
+  lazy.on_drop(queue_.erase(first.req_id));
+
+  // An approximable read arriving for the still-draining row joins the
+  // admitted group and drains with it (no fresh age/coverage gating).
+  lazy.on_enqueue(push(3, 0, 5, 2));
+  Decision d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 101);
+  ASSERT_EQ(d.action, Decision::Action::kDrop);
+  EXPECT_EQ(d.req_id, 2u);
+  lazy.on_drop(queue_.erase(d.req_id));
+  d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 102);
+  ASSERT_EQ(d.action, Decision::Action::kDrop);
+  EXPECT_EQ(d.req_id, 3u);
+}
+
 TEST_F(SchedulerTest, CoverageCapStopsFreshDrops) {
   GpuConfig cfg = cfg_;
   cfg.scheme.coverage_cap = 0.5;

@@ -6,6 +6,8 @@
 #include "common/config.hpp"
 #include "core/ams.hpp"
 #include "core/dms.hpp"
+#include "dram/address.hpp"
+#include "mem/pending_queue.hpp"
 
 namespace lazydram::core {
 namespace {
@@ -169,6 +171,40 @@ TEST(AmsUnit, CumulativeCoverage) {
   ams.on_drop();
   ams.on_read_received();
   EXPECT_DOUBLE_EQ(ams.coverage(), 0.1);
+}
+
+TEST(AmsUnit, DropsAtExactThRblBoundary) {
+  // Boundary audit: the paper drops rows with a low access count, i.e. RBL
+  // <= Th_RBL — a group of exactly Th_RBL pending reads still qualifies, one
+  // more does not. Pins the strict `>` refusal in AmsUnit::should_drop.
+  const SchemeParams p = params();
+  const unsigned th = 4;
+  AmsUnit ams(p, /*dynamic=*/false, th);
+  ams.set_ready(true);
+
+  GpuConfig cfg;
+  cfg.validate();
+  AddressMapper mapper(cfg);
+  PendingQueue queue(32, cfg.banks_per_channel);
+  const auto push_read = [&](RequestId id, std::uint32_t col) {
+    MemRequest r;
+    r.id = id;
+    r.line_addr = mapper.compose(0, /*bank=*/1, /*row=*/2, col * kLineBytes);
+    r.kind = AccessKind::kRead;
+    r.approximable = true;
+    r.loc = mapper.map(r.line_addr);
+    queue.push(r);
+    ams.on_read_received();
+  };
+
+  for (RequestId id = 1; id <= th; ++id)
+    push_read(id, static_cast<std::uint32_t>(id - 1));
+  const MemRequest* cand = queue.oldest_for_bank(1);
+  ASSERT_NE(cand, nullptr);
+  EXPECT_TRUE(ams.should_drop(queue, *cand));  // RBL == Th_RBL: drops.
+
+  push_read(th + 1, th);  // RBL == Th_RBL + 1: too hot to drop.
+  EXPECT_FALSE(ams.should_drop(queue, *queue.oldest_for_bank(1)));
 }
 
 TEST(AmsUnit, HaltedWhileDmsSamples) {

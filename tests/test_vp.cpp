@@ -6,6 +6,7 @@
 #include "common/config.hpp"
 #include "core/value_predictor.hpp"
 #include "gpu/functional_memory.hpp"
+#include "telemetry/hub.hpp"
 
 namespace lazydram::core {
 namespace {
@@ -79,6 +80,58 @@ TEST_F(VpTest, ZeroFillPredictorAblation) {
   const auto p = vp.predict(300 * kLineBytes);
   EXPECT_FALSE(p.donor_found);
   EXPECT_FLOAT_EQ(first_float(p), 0.0f);
+}
+
+TEST_F(VpTest, MissReturnsFullyDefinedLineAndCountsInTelemetry) {
+  // A VP miss (no donor anywhere nearby) must still produce a fully defined
+  // 128B reply — the dropped read's warp resumes on these bytes — and the
+  // fallback must be visible through the same telemetry counters GpuTop
+  // registers (core.chN.vp.predictions / vp.zero_fills).
+  ValuePredictor vp(l2_, fmem_, 4);
+  telemetry::TelemetryHub hub;
+  hub.add_counter("core.ch0.vp.predictions", [&vp] { return vp.predictions(); });
+  hub.add_counter("core.ch0.vp.zero_fills", [&vp] { return vp.zero_fills(); });
+
+  const auto p = vp.predict(4242 * kLineBytes);  // L2 entirely cold.
+  EXPECT_FALSE(p.donor_found);
+  for (unsigned i = 0; i < kLineBytes; ++i) ASSERT_EQ(p.data[i], 0u) << "byte " << i;
+  EXPECT_EQ(hub.counter("core.ch0.vp.predictions"), 1u);
+  EXPECT_EQ(hub.counter("core.ch0.vp.zero_fills"), 1u);
+
+  // A hit afterwards bumps predictions but not zero_fills.
+  put_line(4242 * kLineBytes + kLineBytes, 2.5f);
+  EXPECT_TRUE(vp.predict(4242 * kLineBytes).donor_found);
+  EXPECT_EQ(hub.counter("core.ch0.vp.predictions"), 2u);
+  EXPECT_EQ(hub.counter("core.ch0.vp.zero_fills"), 1u);
+}
+
+TEST_F(VpTest, NeighbourSearchWrapsBelowSetZero) {
+  ValuePredictor vp(l2_, fmem_, /*radius=*/1);
+  const std::uint32_t sets = l2_.num_sets();
+  // Target in set 0; its lower neighbour line lives in the *last* set, so it
+  // is reachable only because the neighbouring-set walk is a ring.
+  const Addr target = static_cast<Addr>(sets) * 10 * kLineBytes;
+  ASSERT_EQ(l2_.set_index(target), 0u);
+  const Addr donor = target - kLineBytes;
+  ASSERT_EQ(l2_.set_index(donor), sets - 1);
+  put_line(donor, 7.0f);
+  const auto p = vp.predict(target);
+  EXPECT_TRUE(p.donor_found);
+  EXPECT_EQ(p.donor_addr, donor);
+}
+
+TEST_F(VpTest, NeighbourSearchWrapsAboveLastSet) {
+  ValuePredictor vp(l2_, fmem_, /*radius=*/1);
+  const std::uint32_t sets = l2_.num_sets();
+  // Target in the last set; its upper neighbour wraps around into set 0.
+  const Addr target = (static_cast<Addr>(sets) * 11 - 1) * kLineBytes;
+  ASSERT_EQ(l2_.set_index(target), sets - 1);
+  const Addr donor = target + kLineBytes;
+  ASSERT_EQ(l2_.set_index(donor), 0u);
+  put_line(donor, 6.0f);
+  const auto p = vp.predict(target);
+  EXPECT_TRUE(p.donor_found);
+  EXPECT_EQ(p.donor_addr, donor);
 }
 
 TEST_F(VpTest, DonorBytesComeThroughTheOverlay) {
