@@ -1,18 +1,36 @@
 // Google-benchmark microbenchmarks of the performance-critical simulator
 // components: the DRAM command engine, FR-FCFS/lazy scheduling decisions,
 // and the VP unit's nearest-line search.
+//
+// `bench_micro --perf` instead runs the perf-regression harness: it drives
+// one fig12-configuration (Table I defaults) memory controller per scheme
+// with a deterministic bursty-plus-idle request stream, plus one end-to-end
+// workload run, and writes wall time, simulated cycles/sec and requests/sec
+// per scheme to BENCH_perf.json. CI compares the report against the
+// checked-in bench/BENCH_perf.json baseline (tools/check_perf.py).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "core/lazy_scheduler.hpp"
+#include "core/scheme.hpp"
 #include "core/value_predictor.hpp"
 #include "dram/address.hpp"
 #include "gpu/functional_memory.hpp"
 #include "mem/controller.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/json.hpp"
+#include "workloads/apps.hpp"
 
 namespace {
 
@@ -87,6 +105,166 @@ void BM_ValuePredictorSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_ValuePredictorSearch);
 
+// ---------------------------------------------------------------------------
+// Perf-regression harness (--perf).
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct SchemePerf {
+  std::string scheme;
+  Cycle mem_cycles = 0;
+  std::uint64_t requests_completed = 0;
+  double wall_seconds = 0.0;
+
+  double cycles_per_second() const {
+    return wall_seconds == 0.0 ? 0.0 : static_cast<double>(mem_cycles) / wall_seconds;
+  }
+  double requests_per_second() const {
+    return wall_seconds == 0.0 ? 0.0
+                               : static_cast<double>(requests_completed) / wall_seconds;
+  }
+};
+
+/// Drives one fig12-configuration controller for `total_cycles` memory
+/// cycles with a deterministic request stream that alternates bursty load
+/// (the saturated hot path) and idle gaps (the compute phases real workloads
+/// spend most cycles in), so both the indexed-queue and the idle-skip layers
+/// are exercised by the measurement.
+SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles) {
+  GpuConfig cfg;  // fig12 configuration: Table I defaults.
+  // Honor the same A/B knob as sim::simulate so `LAZYDRAM_FAST=off
+  // bench_micro --perf` measures the naive loop (see EXPERIMENTS.md).
+  if (const char* fast = std::getenv("LAZYDRAM_FAST"); fast != nullptr) {
+    if (std::string_view(fast) == "off" || std::string_view(fast) == "0")
+      cfg.fast_path = false;
+  }
+  AddressMapper mapper(cfg);
+  core::SchemeSpec spec = core::make_scheme_spec(kind, cfg.scheme);
+  auto sched = std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
+                                                     cfg.banks_per_channel);
+  // The harness has no L2/VP warm-up; arm AMS directly so the drop pass runs.
+  sched->set_ams_ready(true);
+  MemoryController mc(cfg, 0, mapper, std::move(sched));
+
+  Rng rng(0xF161200ull + static_cast<std::uint64_t>(kind));
+  constexpr Cycle kBusyPhase = 3000;
+  constexpr Cycle kIdlePhase = 1500;
+  RequestId id = 1;
+  std::uint64_t completed = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (Cycle now = 0; now < total_cycles; ++now) {
+    const bool busy = now % (kBusyPhase + kIdlePhase) < kBusyPhase;
+    if (busy && mc.can_accept() && rng.next_bool(0.35)) {
+      MemRequest r;
+      r.id = id++;
+      r.line_addr = mapper.compose(
+          0, static_cast<BankId>(rng.next_below(cfg.banks_per_channel)),
+          rng.next_below(256),
+          static_cast<std::uint32_t>(rng.next_below(16) * kLineBytes));
+      r.kind = rng.next_bool(0.15) ? AccessKind::kWrite : AccessKind::kRead;
+      r.approximable = r.kind == AccessKind::kRead && rng.next_bool(0.7);
+      mc.enqueue(r, now);
+    }
+    mc.tick(now);
+    while (mc.pop_reply(now)) ++completed;
+  }
+
+  SchemePerf perf;
+  perf.wall_seconds = seconds_since(start);
+  perf.scheme = core::scheme_name(kind);
+  perf.mem_cycles = total_cycles;
+  perf.requests_completed = completed;
+  return perf;
+}
+
+int run_perf(const std::string& out_path, Cycle cycles_per_scheme) {
+  std::vector<SchemePerf> results;
+  double total_wall = 0.0;
+  for (core::SchemeKind kind : core::all_schemes()) {
+    SchemePerf perf = drive_controller(kind, cycles_per_scheme);
+    std::printf("perf  %-16s %8.3f s  %12.0f mem-cycles/s  %10.0f requests/s\n",
+                perf.scheme.c_str(), perf.wall_seconds, perf.cycles_per_second(),
+                perf.requests_per_second());
+    total_wall += perf.wall_seconds;
+    results.push_back(std::move(perf));
+  }
+
+  // One end-to-end run (full GPU model, all channels) so controller-level
+  // wins that evaporate at system level would show up in the report.
+  sim::RunConfig e2e_cfg;
+  e2e_cfg.spec = core::make_scheme_spec(core::SchemeKind::kDynCombo,
+                                        e2e_cfg.gpu.scheme);
+  const auto e2e = sim::simulate_full(*workloads::make_scp(), e2e_cfg);
+  const double e2e_wall = e2e.telemetry.profile.run_seconds;
+  const double e2e_ccps = e2e.telemetry.profile.core_cycles_per_second;
+  std::printf("perf  %-16s %8.3f s  %12.0f core-cycles/s  (end-to-end SCP)\n",
+              "Dyn-DMS+AMS", e2e_wall, e2e_ccps);
+  total_wall += e2e_wall;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  telemetry::JsonWriter w(out);
+  w.begin_object();
+  w.field("benchmark", "bench_micro --perf");
+  w.field("config", "fig12 (Table I defaults)");
+  w.field("cycles_per_scheme", static_cast<std::uint64_t>(cycles_per_scheme));
+  w.key("schemes");
+  w.begin_array();
+  for (const SchemePerf& perf : results) {
+    w.begin_object();
+    w.field("scheme", perf.scheme);
+    w.field("wall_seconds", perf.wall_seconds);
+    w.field("mem_cycles", static_cast<std::uint64_t>(perf.mem_cycles));
+    w.field("mem_cycles_per_second", perf.cycles_per_second());
+    w.field("requests_completed", perf.requests_completed);
+    w.field("requests_per_second", perf.requests_per_second());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("end_to_end");
+  w.begin_object();
+  w.field("workload", "SCP");
+  w.field("scheme", "Dyn-DMS+AMS");
+  w.field("wall_seconds", e2e_wall);
+  w.field("core_cycles_per_second", e2e_ccps);
+  w.end_object();
+  w.field("total_wall_seconds", total_wall);
+  w.end_object();
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("perf report written to %s (total %.3f s)\n", out_path.c_str(),
+              total_wall);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool perf = false;
+  std::string out_path = "BENCH_perf.json";
+  Cycle cycles_per_scheme = 2'000'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf") == 0) {
+      perf = true;
+    } else if (std::strcmp(argv[i], "--perf-out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--perf-cycles") == 0 && i + 1 < argc) {
+      cycles_per_scheme = static_cast<Cycle>(std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+  if (perf) return run_perf(out_path, cycles_per_scheme);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -117,6 +117,13 @@ struct GpuConfig {
 
   SchemeParams scheme{};
 
+  /// Enables the memory controller's schedulability fast paths (skip
+  /// decide() for banks with no pending work, restrict the AMS drop pass,
+  /// short-circuit fully idle cycles). Proven result-equivalent by the
+  /// tools/diffcheck matrix and the strict-mode checker; LAZYDRAM_FAST=off
+  /// (or =0) disables it for A/B comparison.
+  bool fast_path = true;
+
   std::uint64_t seed = 0x1aE5D8A3u;
 
   /// Aborts (LD_ASSERT) if any derived quantity is inconsistent, e.g. cache

@@ -40,7 +40,9 @@ Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
         return Decision::serve(hit->id);
       }
       trace_stall_begin(bank.bank, hit->id, now);
-      return Decision::none();
+      // allows() flips exactly at enqueue + delay; until then (and absent
+      // queue/delay changes) this answer cannot change.
+      return Decision::gated(hit->enqueue_cycle + dms_.current_delay());
     }
   }
 
@@ -53,7 +55,8 @@ Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
 
   if (spec_.dms_enabled && !dms_.allows(cand->enqueue_cycle, now)) {
     trace_stall_begin(bank.bank, cand->id, now);
-    return Decision::none();
+    // Age gate: kNone is stable until the candidate reaches enqueue + delay.
+    return Decision::gated(cand->enqueue_cycle + dms_.current_delay());
   }
   trace_stall_end(bank.bank, now);
 
@@ -73,6 +76,7 @@ void LazyScheduler::tick(Cycle now, std::uint64_t bus_busy_total) {
       bus_busy_total + ams_.reads_dropped() * kBurstCyclesPerDrop;
   if (spec_.dms_enabled) dms_.tick(now, adjusted);
   if (spec_.ams_enabled) ams_.tick(now, spec_.dms_enabled && dms_.sampling());
+  trace_now_ = now;
   ++ticks_;
   delay_sum_ += static_cast<double>(spec_.dms_enabled ? dms_.current_delay() : 0);
   th_rbl_sum_ += static_cast<double>(spec_.ams_enabled ? ams_.th_rbl() : 0);
@@ -87,7 +91,19 @@ void LazyScheduler::on_enqueue(const MemRequest& req) {
   if (req.is_read()) ams_.on_read_received();
 }
 
+void LazyScheduler::on_serve(const MemRequest& req) {
+  // A stalled request can be served without another decide() on its bank
+  // (e.g. it becomes a row hit after a drain re-opens its row); close the
+  // stall here so the trace never leaks an open interval.
+  if (tracer_ != nullptr && stalled_[req.loc.bank] == req.id)
+    trace_stall_end(req.loc.bank, trace_now_);
+}
+
 void LazyScheduler::on_drop(const MemRequest& req) {
+  // The drain branch of decide() drops without touching the stall state, so
+  // a stalled request swallowed by a row-group drop is closed out here.
+  if (tracer_ != nullptr && stalled_[req.loc.bank] == req.id)
+    trace_stall_end(req.loc.bank, trace_now_);
   ams_.on_drop();
   if (draining_[req.loc.bank] == kInvalidRow) {
     draining_[req.loc.bank] = req.loc.row;
@@ -102,20 +118,20 @@ void LazyScheduler::set_ams_ready(bool ready) { ams_.set_ready(ready); }
 void LazyScheduler::set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {
   tracer_ = tracer;
   channel_ = channel;
-  if (tracer_ != nullptr) stalled_.assign(draining_.size(), 0);
+  if (tracer_ != nullptr) stalled_.assign(draining_.size(), kNoStall);
   dms_.set_telemetry(tracer, channel);
   ams_.set_telemetry(tracer, channel);
 }
 
 void LazyScheduler::trace_stall_begin(BankId bank, RequestId req, Cycle now) {
-  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] != 0) return;
-  stalled_[bank] = 1;
+  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] != kNoStall) return;
+  stalled_[bank] = req;
   tracer_->dms_stall_begin(now, channel_, bank, req, dms_.current_delay());
 }
 
 void LazyScheduler::trace_stall_end(BankId bank, Cycle now) {
-  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] == 0) return;
-  stalled_[bank] = 0;
+  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] == kNoStall) return;
+  stalled_[bank] = kNoStall;
   tracer_->dms_stall_end(now, channel_, bank);
 }
 

@@ -35,7 +35,10 @@ class LazyScheduler : public Scheduler {
   Decision decide(const PendingQueue& queue, const BankView& bank, Cycle now) override;
   void tick(Cycle now, std::uint64_t bus_busy_total) override;
   bool may_drop() const override;
+  bool drops_possible() const override { return spec_.ams_enabled; }
+  bool bank_draining(BankId bank) const override { return draining_[bank] != kInvalidRow; }
   void on_enqueue(const MemRequest& req) override;
+  void on_serve(const MemRequest& req) override;
   void on_drop(const MemRequest& req) override;
 
   /// L2 warm-up gate for the AMS unit (set by the owning memory partition).
@@ -85,9 +88,18 @@ class LazyScheduler : public Scheduler {
 
   telemetry::Tracer* tracer_ = nullptr;
   ChannelId channel_ = 0;
-  /// Per-bank "currently age-gated" flag for stall begin/end events. Only
-  /// touched when tracing is enabled; never consulted for decisions.
-  std::vector<std::uint8_t> stalled_;
+  /// No-stall sentinel for `stalled_` (request ids are small monotonic
+  /// integers, so the all-ones pattern is never a real id).
+  static constexpr RequestId kNoStall = ~RequestId{0};
+  /// Per-bank id of the currently age-gated request (kNoStall if none), for
+  /// stall begin/end events. Tracking the id — not just a flag — lets
+  /// on_serve/on_drop close a stall whose request leaves the queue without a
+  /// further decide() on its bank. Only touched when tracing is enabled;
+  /// never consulted for decisions.
+  std::vector<RequestId> stalled_;
+  /// Cycle of the most recent tick(); timestamps stall-end events emitted
+  /// from on_serve/on_drop, which carry no cycle of their own.
+  Cycle trace_now_ = 0;
 };
 
 }  // namespace lazydram::core

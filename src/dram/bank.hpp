@@ -47,6 +47,14 @@ class Bank {
   unsigned open_row_accesses() const { return open_accesses_; }
   bool open_row_read_only() const { return open_read_only_; }
 
+  // --- Ledger introspection (earliest per-bank legal cycle per command).
+  //     Used by DramChannel::earliest_issue for the controller's retry
+  //     memos; each value only ever moves forward as commands issue.
+  Cycle next_activate_allowed() const { return next_act_; }
+  Cycle next_precharge_allowed() const { return next_pre_; }
+  Cycle next_read_allowed() const { return next_rd_; }
+  Cycle next_write_allowed() const { return next_wr_; }
+
   /// End-of-simulation flush: returns the open row's tally as if precharged,
   /// without timing effects. No-op (returns accesses==0) if no row is open.
   ClosedRow flush();

@@ -51,6 +51,32 @@ bool DramChannel::can_issue(CommandKind kind, BankId bank, Cycle now) const {
   return false;
 }
 
+Cycle DramChannel::earliest_issue(CommandKind kind, BankId bank) const {
+  LD_ASSERT(bank < banks_.size());
+  const Bank& b = banks_[bank];
+  switch (kind) {
+    case CommandKind::kActivate: {
+      Cycle at = std::max(b.next_activate_allowed(), next_act_any_bank_);
+      if (t_.tFAW > 0 && acts_in_window_ >= 4)
+        at = std::max(at, act_window_[act_window_pos_] + t_.tFAW);
+      return at;
+    }
+    case CommandKind::kPrecharge:
+      return b.next_precharge_allowed();
+    case CommandKind::kRead: {
+      Cycle at = std::max(b.next_read_allowed(), next_cas_in_group_[bank % groups_]);
+      if (bus_free_at_ > t_.tCL) at = std::max(at, bus_free_at_ - t_.tCL);
+      return at;
+    }
+    case CommandKind::kWrite: {
+      Cycle at = std::max(b.next_write_allowed(), next_cas_in_group_[bank % groups_]);
+      if (bus_free_at_ > t_.tWL) at = std::max(at, bus_free_at_ - t_.tWL);
+      return at;
+    }
+  }
+  return 0;
+}
+
 Cycle DramChannel::issue(CommandKind kind, BankId bank, RowId row, Cycle now) {
   LD_ASSERT_MSG(can_issue(kind, bank, now), "channel command issued while illegal");
   Bank& b = banks_[bank];

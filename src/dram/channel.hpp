@@ -38,6 +38,14 @@ class DramChannel {
   /// issues at most one command per tick).
   bool can_issue(CommandKind kind, BankId bank, Cycle now) const;
 
+  /// Lower bound on the earliest cycle `kind` could legally issue to `bank`
+  /// given the *current* ledgers. Every timing gate only ratchets forward as
+  /// later commands issue, so can_issue is guaranteed false strictly before
+  /// the returned cycle — the controller skips blocked banks until then.
+  /// (The RD<->WR turnaround bubble is deliberately excluded: it can only
+  /// push the true earliest cycle later, keeping this a valid lower bound.)
+  Cycle earliest_issue(CommandKind kind, BankId bank) const;
+
   /// Executes the command. For kRead/kWrite returns the cycle the data burst
   /// completes; for kActivate/kPrecharge returns `now`.
   Cycle issue(CommandKind kind, BankId bank, RowId row, Cycle now);

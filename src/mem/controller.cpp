@@ -20,8 +20,12 @@ MemoryController::MemoryController(const GpuConfig& cfg, ChannelId id,
       queue_(cfg.pending_queue_size, cfg.banks_per_channel),
       dram_(cfg, id),
       scheduler_(std::move(scheduler)),
-      num_banks_(cfg.banks_per_channel) {
+      num_banks_(cfg.banks_per_channel),
+      fast_path_(cfg.fast_path),
+      bank_retry_at_(cfg.banks_per_channel, 0),
+      bank_none_until_(cfg.banks_per_channel, 0) {
   LD_ASSERT(scheduler_ != nullptr);
+  drops_possible_ = scheduler_->drops_possible();
 }
 
 void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
@@ -36,12 +40,20 @@ void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
   scheduler_->on_enqueue(req);
   if (checker_ != nullptr) checker_->on_enqueue(req, now_mem);
   if (recorder_ != nullptr) recorder_->on_enqueue(req);
+  // An arrival can change the bank's decision; both memos are stale, and so
+  // are the pass-level wakes aggregated from them.
+  bank_retry_at_[req.loc.bank] = 0;
+  bank_none_until_[req.loc.bank] = 0;
+  cmd_wake_ = 0;
+  drop_wake_ = 0;
   queue_.push(std::move(req));
 }
 
 void MemoryController::complete_bursts(Cycle now) {
+  next_burst_done_ = kNeverCycle;
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if (it->done > now) {
+      if (it->done < next_burst_done_) next_burst_done_ = it->done;
       ++it;
       continue;
     }
@@ -57,19 +69,24 @@ void MemoryController::complete_bursts(Cycle now) {
   }
 }
 
-bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
+bool MemoryController::advance_request(const MemRequest& req, Cycle now,
+                                       Cycle* retry_at) {
   const BankId b = req.loc.bank;
   const dram::Bank& bank = dram_.bank(b);
 
   if (bank.row_open() && bank.open_row() == req.loc.row) {
     const CommandKind cas = req.is_read() ? CommandKind::kRead : CommandKind::kWrite;
-    if (!dram_.can_issue(cas, b, now)) return false;
+    if (!dram_.can_issue(cas, b, now)) {
+      if (retry_at != nullptr) *retry_at = dram_.earliest_issue(cas, b);
+      return false;
+    }
     const Cycle done = dram_.issue(cas, b, req.loc.row, now);
     if (checker_ != nullptr) checker_->on_command(cas, b, req.loc.row, now, queue_);
     MemRequest popped = queue_.erase(req.id);
     scheduler_->on_serve(popped);
     if (recorder_ != nullptr) recorder_->on_serve(popped.id, now, done);
     inflight_.push_back(InFlight{std::move(popped), done});
+    if (done < next_burst_done_) next_burst_done_ = done;
     return true;
   }
 
@@ -77,14 +94,22 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
     // Demand precharge: the scheduler chose a request for another row.
     // (Hit-first policies only reach here with no pending hits; plain FCFS
     // may legitimately close a row that still has younger hits pending.)
-    if (!dram_.can_issue(CommandKind::kPrecharge, b, now)) return false;
+    if (!dram_.can_issue(CommandKind::kPrecharge, b, now)) {
+      if (retry_at != nullptr)
+        *retry_at = dram_.earliest_issue(CommandKind::kPrecharge, b);
+      return false;
+    }
     dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
     if (checker_ != nullptr)
       checker_->on_command(CommandKind::kPrecharge, b, kInvalidRow, now, queue_);
     return true;
   }
 
-  if (!dram_.can_issue(CommandKind::kActivate, b, now)) return false;
+  if (!dram_.can_issue(CommandKind::kActivate, b, now)) {
+    if (retry_at != nullptr)
+      *retry_at = dram_.earliest_issue(CommandKind::kActivate, b);
+    return false;
+  }
   dram_.issue(CommandKind::kActivate, b, req.loc.row, now);
   if (checker_ != nullptr)
     checker_->on_command(CommandKind::kActivate, b, req.loc.row, now, queue_);
@@ -92,9 +117,61 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now) {
   return true;
 }
 
+bool MemoryController::try_closed_row_precharge(BankId b, Cycle now) {
+  const dram::Bank& bank = dram_.bank(b);
+  if (!bank.row_open() || bank.open_row_accesses() == 0) return false;
+  if (queue_.oldest_for_row(b, bank.open_row()) != nullptr) return false;
+  if (!dram_.can_issue(CommandKind::kPrecharge, b, now)) return false;
+  dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
+  if (checker_ != nullptr)
+    checker_->on_command(CommandKind::kPrecharge, b, kInvalidRow, now, queue_);
+  rr_bank_ = (b + 1) % num_banks_;
+  return true;
+}
+
 void MemoryController::issue_one_command(Cycle now) {
+  // Pass-level memo accounting: while the scan runs, record whether every
+  // bank with work is blocked by a per-bank memo and, if so, the earliest
+  // memo horizon. Until a command issues nothing moves the DRAM timing
+  // gates, so a fully-blocked pass is provably a no-op until that horizon
+  // and tick() skips it outright (cmd_wake_).
+  bool all_blocked = true;
+  Cycle min_wake = kNeverCycle;
   for (unsigned i = 0; i < num_banks_; ++i) {
-    const BankId b = (rr_bank_ + i) % num_banks_;
+    BankId b = rr_bank_ + i;
+    if (b >= num_banks_) b -= num_banks_;
+
+    // Schedulability skips: an empty bank can yield no request command, so
+    // decide() is not consulted (policies return kNone without side effects
+    // for empty banks). A draining bank is NOT skipped even when empty:
+    // decide() retires exhausted drain state lazily, and deferring that
+    // retirement to the next drop pass would let a same-row arrival join a
+    // drain the unskipped path had already ended. A bank whose chosen
+    // command failed legality is skipped until its retry memo expires: the
+    // DRAM gates it is waiting on only move forward, so it provably cannot
+    // issue before then, and the memo is invalidated whenever its pending
+    // set changes. Only the closed-row ablation's idle precharge can still
+    // apply here.
+    if (fast_path_) {
+      const bool empty = queue_.bank_size(b) == 0;
+      if (empty && !scheduler_->bank_draining(b)) {
+        if (row_policy_ == RowPolicy::kClosedRow && try_closed_row_precharge(b, now))
+          return;
+        continue;
+      }
+      // Memos are only honored under open-row policy: a skipped decide()
+      // under the closed-row ablation could miss an idle precharge the
+      // unskipped path would have issued. The bank unblocks when the later
+      // of its two memos expires (each alone suffices to skip it).
+      if (!empty && row_policy_ == RowPolicy::kOpenRow) {
+        const Cycle memo = std::max(bank_retry_at_[b], bank_none_until_[b]);
+        if (now < memo) {
+          min_wake = std::min(min_wake, memo);
+          continue;
+        }
+      }
+    }
+
     const dram::Bank& bank = dram_.bank(b);
     const BankView view{b, bank.row_open(), bank.open_row()};
 
@@ -103,11 +180,29 @@ void MemoryController::issue_one_command(Cycle now) {
       const MemRequest* req = queue_.find(d.req_id);
       LD_ASSERT_MSG(req != nullptr, "scheduler chose a request not in the queue");
       LD_ASSERT_MSG(req->loc.bank == b, "scheduler chose a request for another bank");
-      if (advance_request(*req, now)) {
-        rr_bank_ = (b + 1) % num_banks_;
+      Cycle retry_at = 0;
+      if (advance_request(*req, now, &retry_at)) {
+        rr_bank_ = b + 1 == num_banks_ ? 0 : b + 1;
         return;
       }
+      if (fast_path_ && retry_at > now) {
+        bank_retry_at_[b] = retry_at;
+        min_wake = std::min(min_wake, retry_at);
+      } else {
+        // No usable bound (e.g. a bus-turnaround bubble, which
+        // earliest_issue() excludes): re-scan this bank every cycle.
+        all_blocked = false;
+      }
       continue;  // Command not legal this cycle; give other banks a chance.
+    }
+
+    if (fast_path_ && d.action == Decision::Action::kNone && d.none_until > now) {
+      bank_none_until_[b] = d.none_until;
+      min_wake = std::min(min_wake, d.none_until);
+    } else {
+      // kDrop gates and horizon-free kNone (drain retirement just ran) must
+      // keep re-deciding every cycle.
+      all_blocked = false;
     }
 
     // A kDrop answer in the command pass is a gate: the bank issues nothing
@@ -118,62 +213,128 @@ void MemoryController::issue_one_command(Cycle now) {
 
     // Closed-row ablation: precharge banks left open with no work for the
     // open row. (Under open-row policy rows stay open until a conflict.)
-    if (row_policy_ == RowPolicy::kClosedRow && bank.row_open() &&
-        bank.open_row_accesses() > 0 &&
-        queue_.oldest_for_row(b, bank.open_row()) == nullptr &&
-        dram_.can_issue(CommandKind::kPrecharge, b, now)) {
-      dram_.issue(CommandKind::kPrecharge, b, kInvalidRow, now);
-      if (checker_ != nullptr)
-        checker_->on_command(CommandKind::kPrecharge, b, kInvalidRow, now, queue_);
-      rr_bank_ = (b + 1) % num_banks_;
+    if (row_policy_ == RowPolicy::kClosedRow && try_closed_row_precharge(b, now))
       return;
-    }
   }
+  if (fast_path_ && row_policy_ == RowPolicy::kOpenRow && all_blocked &&
+      min_wake != kNeverCycle && min_wake > now)
+    cmd_wake_ = min_wake;
 }
 
 void MemoryController::tick(Cycle now_mem) {
-  complete_bursts(now_mem);
+  // Nothing in `inflight_` can retire before the tracked minimum done-cycle,
+  // so until then the completion scan is a provable no-op (ungated by
+  // fast_path_: bit-exact by construction).
+  if (next_burst_done_ <= now_mem) complete_bursts(now_mem);
   scheduler_->tick(now_mem, dram_.bus_busy_cycles());
   if (checker_ != nullptr) checker_->on_tick(queue_, now_mem);
-  if (recorder_ != nullptr) {
-    // The golden model re-derives DMS gating from the delay value that is
-    // current *at decision time*, i.e. after the scheduler's tick above.
-    telemetry::WindowProbe p;
-    scheduler_->fill_probe(p);
-    recorder_->on_delay(now_mem, p.dms_delay);
+
+  // Policy gauges (DMS delay, Th_RBL) only change inside the scheduler tick
+  // above, so one fill_probe serves the recorder — which needs the delay
+  // current *at decision time* — the end-of-cycle sampler below, and the
+  // fast path's delay-change edge detection.
+  telemetry::WindowProbe probe;
+  if (fast_path_ || recorder_ != nullptr || sampler_ != nullptr)
+    scheduler_->fill_probe(probe);
+  if (recorder_ != nullptr) recorder_->on_delay(now_mem, probe.dms_delay);
+
+  // The none_until horizons assumed a constant DMS delay; drop them all on
+  // a delay change (rare: at most once per profiling window).
+  if (fast_path_ && probe.dms_delay != last_dms_delay_) {
+    last_dms_delay_ = probe.dms_delay;
+    std::fill(bank_none_until_.begin(), bank_none_until_.end(), Cycle{0});
+    cmd_wake_ = 0;
+    drop_wake_ = 0;
   }
 
-  // At most one AMS drop per cycle ("dropped sequentially in the following
-  // memory cycles", Section IV-C). Drops use the reply path, not the DRAM
-  // command bus, so a drop and a DRAM command can share a cycle.
-  for (unsigned i = 0; scheduler_->may_drop() && i < num_banks_; ++i) {
-    const BankId b = static_cast<BankId>(i);
-    const dram::Bank& bank = dram_.bank(b);
-    const BankView view{b, bank.row_open(), bank.open_row()};
-    const Decision d = scheduler_->decide(queue_, view, now_mem);
-    if (d.action != Decision::Action::kDrop) continue;
-    if (checker_ != nullptr) {
-      const MemRequest* victim = queue_.find(d.req_id);
-      LD_ASSERT(victim != nullptr);
-      checker_->on_drop(*victim, now_mem, queue_);
+  // Idle short-circuit: with no pending requests there is no request to
+  // drop or advance, and under open-row policy no command to issue at all —
+  // the whole per-bank machinery is skipped. (may_drop() stays true while a
+  // drain awaits lazy retirement, which keeps the drop pass visiting it.)
+  const bool idle_cycle = fast_path_ && queue_.empty() &&
+                          !(drops_possible_ && scheduler_->may_drop()) &&
+                          row_policy_ == RowPolicy::kOpenRow;
+  if (!idle_cycle) {
+    // At most one AMS drop per cycle ("dropped sequentially in the following
+    // memory cycles", Section IV-C). Drops use the reply path, not the DRAM
+    // command bus, so a drop and a DRAM command can share a cycle. The scan
+    // starts past the bank that dropped last (like rr_bank_ in the command
+    // pass) so concurrent drains on different banks interleave their drops
+    // instead of the lowest-numbered bank always finishing first.
+    //
+    // drop_wake_: a completed scan in which every visited bank was (or just
+    // became) age-gated proves the pass stays dropless until the earliest
+    // gate horizon — no decide() can reach the AMS admission check before
+    // then, so its time-varying state (coverage, Th_RBL, halted) cannot
+    // matter. Never set while a drain is active (a draining bank decides
+    // kDrop and clears the wake on execution) or after an early exit.
+    if (drops_possible_ && now_mem >= drop_wake_) {
+      bool all_gated = true;
+      Cycle min_wake = kNeverCycle;
+      bool dropped_one = false;
+      unsigned i = 0;
+      for (; scheduler_->may_drop() && i < num_banks_; ++i) {
+        BankId b = drop_rr_bank_ + i;
+        if (b >= num_banks_) b -= num_banks_;
+        if (fast_path_ && queue_.bank_size(b) == 0 && !scheduler_->bank_draining(b))
+          continue;  // Nothing to drop and no drain state to retire.
+        if (fast_path_ && row_policy_ == RowPolicy::kOpenRow &&
+            now_mem < bank_none_until_[b]) {
+          min_wake = std::min(min_wake, bank_none_until_[b]);
+          continue;  // Age-gated: decide() is provably still kNone.
+        }
+        const dram::Bank& bank = dram_.bank(b);
+        const BankView view{b, bank.row_open(), bank.open_row()};
+        const Decision d = scheduler_->decide(queue_, view, now_mem);
+        if (d.action != Decision::Action::kDrop) {
+          if (fast_path_ && d.action == Decision::Action::kNone &&
+              d.none_until > now_mem) {
+            bank_none_until_[b] = d.none_until;
+            min_wake = std::min(min_wake, d.none_until);
+          } else {
+            all_gated = false;  // kServe / drain retirement: re-decide next cycle.
+          }
+          continue;
+        }
+        if (checker_ != nullptr) {
+          const MemRequest* victim = queue_.find(d.req_id);
+          LD_ASSERT(victim != nullptr);
+          checker_->on_drop(*victim, now_mem, queue_);
+        }
+        MemRequest dropped = queue_.erase(d.req_id);
+        LD_ASSERT_MSG(dropped.is_read(), "AMS must only drop reads");
+        // The drop can change this bank's decision; both memos and the
+        // pass-level wakes aggregated from them are stale.
+        bank_retry_at_[b] = 0;
+        bank_none_until_[b] = 0;
+        cmd_wake_ = 0;
+        drop_wake_ = 0;
+        ++reads_dropped_;
+        scheduler_->on_drop(dropped);
+        if (recorder_ != nullptr) recorder_->on_drop(dropped.id, now_mem);
+        if (tracer_ != nullptr)
+          tracer_->row_group_drop(now_mem, id_, dropped.loc.bank, dropped.loc.row,
+                                  dropped.id);
+        replies_.push_back(MemReply{dropped.id, dropped.line_addr, dropped.src_sm,
+                                    /*approximate=*/true, now_mem});
+        drop_rr_bank_ = b + 1 == num_banks_ ? 0 : b + 1;
+        dropped_one = true;
+        break;
+      }
+      if (fast_path_ && row_policy_ == RowPolicy::kOpenRow && !dropped_one &&
+          i == num_banks_ && all_gated && min_wake != kNeverCycle)
+        drop_wake_ = min_wake;
     }
-    MemRequest dropped = queue_.erase(d.req_id);
-    LD_ASSERT_MSG(dropped.is_read(), "AMS must only drop reads");
-    ++reads_dropped_;
-    scheduler_->on_drop(dropped);
-    if (recorder_ != nullptr) recorder_->on_drop(dropped.id, now_mem);
-    if (tracer_ != nullptr)
-      tracer_->row_group_drop(now_mem, id_, dropped.loc.bank, dropped.loc.row, dropped.id);
-    replies_.push_back(MemReply{dropped.id, dropped.line_addr, dropped.src_sm,
-                                /*approximate=*/true, now_mem});
-    break;
-  }
 
-  issue_one_command(now_mem);
+    if (now_mem >= cmd_wake_) issue_one_command(now_mem);
+  }
 
   // The sampler observes the cycle last, so its probe reflects everything
   // issued up to and including `now_mem`. Read-only: cannot perturb the run.
-  if (sampler_ != nullptr) sampler_->tick(now_mem, telemetry_probe());
+  if (sampler_ != nullptr) {
+    fill_channel_counters(probe);
+    sampler_->tick(now_mem, probe);
+  }
 }
 
 std::optional<MemReply> MemoryController::pop_reply(Cycle now_mem) {
@@ -198,8 +359,7 @@ void MemoryController::enable_window_sampling(Cycle window, telemetry::Tracer* t
   sampler_ = std::make_unique<telemetry::WindowSampler>(id_, window, tracer);
 }
 
-telemetry::WindowProbe MemoryController::telemetry_probe() const {
-  telemetry::WindowProbe p;
+void MemoryController::fill_channel_counters(telemetry::WindowProbe& p) const {
   p.bus_busy_cycles = dram_.bus_busy_cycles();
   p.activations = dram_.activations();
   p.column_reads = dram_.energy().read_accesses();
@@ -208,6 +368,11 @@ telemetry::WindowProbe MemoryController::telemetry_probe() const {
   p.reads_received = reads_received_;
   p.energy_nj = dram_.energy().total_energy_nj();
   p.queue_size = queue_.size();
+}
+
+telemetry::WindowProbe MemoryController::telemetry_probe() const {
+  telemetry::WindowProbe p;
+  fill_channel_counters(p);
   scheduler_->fill_probe(p);
   return p;
 }

@@ -117,11 +117,20 @@ class MemoryController {
   };
 
   /// Attempts one command step toward serving `req`; returns true if a DRAM
-  /// command was issued this cycle.
-  bool advance_request(const MemRequest& req, Cycle now);
+  /// command was issued this cycle. On failure, `retry_at` (if non-null)
+  /// receives a lower bound on the cycle the blocked command could issue.
+  bool advance_request(const MemRequest& req, Cycle now, Cycle* retry_at = nullptr);
 
   void complete_bursts(Cycle now);
   void issue_one_command(Cycle now);
+
+  /// Closed-row ablation: precharges `b` if its open row has no pending work
+  /// left; returns true if the precharge issued (consuming the command bus).
+  bool try_closed_row_precharge(BankId b, Cycle now);
+
+  /// Cumulative channel counters shared by telemetry_probe() and the
+  /// once-per-tick probe in tick(). Policy gauges are filled separately.
+  void fill_channel_counters(telemetry::WindowProbe& p) const;
 
   ChannelId id_;
   const AddressMapper& mapper_;
@@ -135,7 +144,38 @@ class MemoryController {
   std::deque<MemReply> replies_;
 
   unsigned rr_bank_ = 0;
+  /// Start bank of the AMS drop pass, rotated past each drop so concurrent
+  /// row-group drains on different banks interleave fairly.
+  unsigned drop_rr_bank_ = 0;
   unsigned num_banks_;
+  /// Schedulability fast paths enabled (GpuConfig::fast_path).
+  bool fast_path_;
+  /// Cached Scheduler::drops_possible(): non-AMS schemes never run the drop
+  /// pass, not even the may_drop() poll.
+  bool drops_possible_;
+  /// Per-bank retry memo: the command pass skips a bank until this cycle
+  /// after its chosen command failed legality (earliest_issue lower bound).
+  /// Invalidated (set to 0) whenever the bank's pending set changes —
+  /// enqueue or AMS drop — since that can change the scheduler's choice.
+  std::vector<Cycle> bank_retry_at_;
+  /// Per-bank decision-stability memo: the scheduler answered kNone with a
+  /// Decision::none_until horizon (DMS age gate), so both passes skip the
+  /// bank until then. Invalidated with bank_retry_at_, plus wholesale when
+  /// the DMS delay changes (the horizon assumed it constant). Only honored
+  /// under open-row policy, where a skipped decide() has no command to miss.
+  std::vector<Cycle> bank_none_until_;
+  /// DMS delay observed last tick (bank_none_until_ invalidation edge).
+  Cycle last_dms_delay_ = 0;
+  /// Whole-pass memos: when a full scan finds every non-empty bank blocked
+  /// by a per-bank memo (and nothing issued/dropped), the pass itself is
+  /// skipped until the earliest per-bank horizon. Invalidated together with
+  /// the per-bank memos (enqueue, drop, DMS delay change); only ever set
+  /// under open-row fast-path, so 0 elsewhere.
+  Cycle cmd_wake_ = 0;
+  Cycle drop_wake_ = 0;
+  /// Earliest done-cycle among `inflight_` (kNeverCycle when empty); lets
+  /// tick() skip the completion scan until a burst can actually retire.
+  Cycle next_burst_done_ = kNeverCycle;
 
   std::uint64_t reads_received_ = 0;
   std::uint64_t writes_received_ = 0;

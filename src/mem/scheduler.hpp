@@ -31,8 +31,14 @@ struct Decision {
   };
   Action action = Action::kNone;
   RequestId req_id = 0;
+  /// For kNone only: the policy guarantees the answer stays kNone until this
+  /// cycle *provided* the bank's pending set and the policy's delay knobs do
+  /// not change (the controller invalidates on either). 0 = no guarantee.
+  Cycle none_until = 0;
 
   static Decision none() { return {}; }
+  /// kNone with a stability horizon (see none_until).
+  static Decision gated(Cycle until) { return {Action::kNone, 0, until}; }
   static Decision serve(RequestId id) { return {Action::kServe, id}; }
   static Decision drop(RequestId id) { return {Action::kDrop, id}; }
 };
@@ -43,13 +49,31 @@ class Scheduler {
 
   /// Policy decision for `bank` at memory cycle `now`. Must be free of
   /// observable side effects: the controller may call it more than once per
-  /// cycle per bank (once in the drop pass, once in the command pass).
+  /// cycle per bank (once in the drop pass, once in the command pass) — and,
+  /// symmetrically, may not call it at all for a bank with no pending work
+  /// and no draining drop, so a policy must not rely on decide() running
+  /// every cycle for every bank.
   virtual Decision decide(const PendingQueue& queue, const BankView& bank, Cycle now) = 0;
 
   /// Cheap pre-check: can this policy ever answer kDrop right now? The
   /// controller skips the per-bank drop pass entirely when false, keeping
   /// the non-AMS schemes on the fast path.
   virtual bool may_drop() const { return false; }
+
+  /// Static capability: can this policy ever answer kDrop at all? Must be
+  /// constant over the scheduler's lifetime (a configuration fact, not a
+  /// state query — may_drop() answers the per-cycle question). The
+  /// controller caches it once and never even polls may_drop() when false.
+  virtual bool drops_possible() const { return false; }
+
+  /// True iff an AMS row-group drop is draining on `bank`. The controller's
+  /// drop pass must keep visiting a draining bank even when its pending
+  /// queue ran dry, so the policy can retire the drain state; banks that are
+  /// neither draining nor holding pending work are skipped.
+  virtual bool bank_draining(BankId bank) const {
+    (void)bank;
+    return false;
+  }
 
   /// Called once per memory cycle before any decide(); `bus_busy_total` is
   /// the channel's cumulative data-bus busy cycle count (BWUTIL numerator).

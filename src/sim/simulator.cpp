@@ -23,7 +23,20 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& config) {
   log_level();  // Resolve LAZYDRAM_LOG up front so a typo in it warns even
                 // if the run never logs.
-  const GpuConfig& cfg = config.gpu;
+  GpuConfig cfg = config.gpu;
+
+  // A/B knob for the controller's schedulability fast paths: the diffcheck
+  // equivalence matrix and perf triage compare LAZYDRAM_FAST=off runs
+  // against the (default-on) optimized ones.
+  if (const std::string fast = telemetry::env_string("LAZYDRAM_FAST"); !fast.empty()) {
+    if (fast == "off" || fast == "0")
+      cfg.fast_path = false;
+    else if (fast == "on" || fast == "1")
+      cfg.fast_path = true;
+    else
+      log_warn("LAZYDRAM_FAST='%s' not recognized (want on|off|1|0); ignored",
+               fast.c_str());
+  }
 
   gpu::GpuTop::SchedulerFactory factory;
   std::string label = config.scheme_label;

@@ -120,6 +120,37 @@ TEST(QueueFuzz, MatchesNaiveModelOverRandomOps) {
       if (r.loc.bank == bank && r.loc.row == row) return &r;
     return nullptr;
   };
+  const auto model_bank_size = [&](BankId bank) {
+    unsigned n = 0;
+    for (const MemRequest& r : model) n += r.loc.bank == bank ? 1u : 0u;
+    return n;
+  };
+  // Audits every incrementally maintained aggregate of one (bank, row) pair
+  // against the naive model. The hot loop samples a random pair per op; a
+  // periodic exhaustive sweep covers all pairs so a corrupted aggregate
+  // cannot hide on a never-sampled group.
+  const auto audit_group = [&](BankId bank, RowId row) {
+    unsigned size = 0;
+    bool all_reads = true;
+    bool all_approx = true;
+    for (const MemRequest& r : model) {
+      if (r.loc.bank != bank || r.loc.row != row) continue;
+      ++size;
+      all_reads = all_reads && r.is_read();
+      all_approx = all_approx && r.is_read() && r.approximable;
+    }
+    ASSERT_EQ(queue.row_group_size(bank, row), size);
+    // Both predicates are vacuously true for an empty group.
+    EXPECT_EQ(queue.row_group_all_reads(bank, row), all_reads);
+    EXPECT_EQ(queue.row_group_all_approximable(bank, row), all_approx);
+
+    const MemRequest* qr = queue.oldest_for_row(bank, row);
+    const MemRequest* mr = model_oldest_for_row(bank, row);
+    ASSERT_EQ(qr == nullptr, mr == nullptr);
+    if (qr != nullptr) {
+      EXPECT_EQ(qr->id, mr->id);
+    }
+  };
 
   for (unsigned op = 0; op < 12000; ++op) {
     const std::uint64_t roll = rng.next_below(10);
@@ -162,27 +193,17 @@ TEST(QueueFuzz, MatchesNaiveModelOverRandomOps) {
     if (qb != nullptr) {
       EXPECT_EQ(qb->id, mb->id);
     }
+    EXPECT_EQ(queue.bank_size(bank), model_bank_size(bank));
 
-    const MemRequest* qr = queue.oldest_for_row(bank, row);
-    const MemRequest* mr = model_oldest_for_row(bank, row);
-    ASSERT_EQ(qr == nullptr, mr == nullptr);
-    if (qr != nullptr) {
-      EXPECT_EQ(qr->id, mr->id);
-    }
+    audit_group(bank, row);
 
-    unsigned size = 0;
-    bool all_reads = true;
-    bool all_approx = true;
-    for (const MemRequest& r : model) {
-      if (r.loc.bank != bank || r.loc.row != row) continue;
-      ++size;
-      all_reads = all_reads && r.is_read();
-      all_approx = all_approx && r.is_read() && r.approximable;
+    // Exhaustive aggregate sweep: every bank count and every row group.
+    if (op % 500 == 0) {
+      for (BankId b = 0; b < kBanks; ++b) {
+        EXPECT_EQ(queue.bank_size(b), model_bank_size(b));
+        for (RowId rw = 0; rw < kRows; ++rw) audit_group(b, rw);
+      }
     }
-    ASSERT_EQ(queue.row_group_size(bank, row), size);
-    // Both predicates are vacuously true for an empty group.
-    EXPECT_EQ(queue.row_group_all_reads(bank, row), all_reads);
-    EXPECT_EQ(queue.row_group_all_approximable(bank, row), all_approx);
 
     // find(): a live id resolves, a retired one does not.
     if (!model.empty()) {

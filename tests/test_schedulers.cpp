@@ -3,15 +3,30 @@
 // Dyn-DMS search edge cases the scheduler's age gate depends on.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/config.hpp"
 #include "core/dms.hpp"
 #include "core/lazy_scheduler.hpp"
 #include "dram/address.hpp"
 #include "mem/fcfs.hpp"
 #include "mem/frfcfs.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lazydram {
 namespace {
+
+/// In-memory trace sink for asserting on emitted event sequences.
+struct CaptureSink final : telemetry::TraceSink {
+  std::vector<telemetry::TraceEvent> events;
+  void on_event(const telemetry::TraceEvent& e) override { events.push_back(e); }
+  void on_window(const telemetry::WindowSample&) override {}
+  unsigned count(telemetry::EventKind k) const {
+    unsigned n = 0;
+    for (const telemetry::TraceEvent& e : events) n += e.kind == k ? 1u : 0u;
+    return n;
+  }
+};
 
 SchemeParams dms_params() {
   SchemeParams p;
@@ -168,6 +183,61 @@ TEST_F(SchedulerTest, DmsGatesYoungRowMisses) {
   // Age 100 at cycle 150: allowed.
   EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 150).action,
             Decision::Action::kServe);
+}
+
+TEST_F(SchedulerTest, GatedDecisionReportsStabilityHorizon) {
+  core::SchemeSpec spec = core::make_static_dms_spec(100, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  push(1, 0, 5, 0, AccessKind::kRead, true, /*enq=*/40);
+  const Decision d = lazy.decide(queue_, BankView{0, false, kInvalidRow}, 99);
+  EXPECT_EQ(d.action, Decision::Action::kNone);
+  EXPECT_EQ(d.none_until, 140u);  // enqueue 40 + delay 100.
+  // One cycle before the horizon the answer is still kNone; exactly at the
+  // horizon the age gate opens.
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 139).action,
+            Decision::Action::kNone);
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 140).action,
+            Decision::Action::kServe);
+}
+
+TEST_F(SchedulerTest, StallClosedWhenStalledRequestLeavesWithoutDecide) {
+  // A DMS stall opens when decide() gates a request. The request can then
+  // leave the queue through the serve/drop notification without another
+  // decide() on its bank (a drain swallows it; it becomes a row hit after a
+  // drain re-opens its row). The stall must close from the notification
+  // itself, or the trace leaks an open interval forever.
+  core::SchemeSpec spec = core::make_static_dms_spec(100, cfg_.scheme);
+  core::LazyScheduler lazy = make_lazy(spec);
+  CaptureSink sink;
+  telemetry::Tracer tracer;
+  tracer.set_sink(&sink);
+  lazy.set_telemetry(&tracer, 0);
+  lazy.tick(10, 0);
+
+  // Bank 0: stalled request leaves via on_drop.
+  const MemRequest r1 = push(1, 0, 5, 0, AccessKind::kRead, true, /*enq=*/0);
+  EXPECT_EQ(lazy.decide(queue_, BankView{0, false, kInvalidRow}, 50).action,
+            Decision::Action::kNone);
+  EXPECT_EQ(sink.count(telemetry::EventKind::kDmsStallBegin), 1u);
+  EXPECT_EQ(sink.count(telemetry::EventKind::kDmsStallEnd), 0u);
+  queue_.erase(1);
+  lazy.on_drop(r1);
+  EXPECT_EQ(sink.count(telemetry::EventKind::kDmsStallEnd), 1u);
+
+  // Bank 1: stalled request leaves via on_serve.
+  const MemRequest r2 = push(2, 1, 3, 0, AccessKind::kRead, true, /*enq=*/0);
+  EXPECT_EQ(lazy.decide(queue_, BankView{1, false, kInvalidRow}, 60).action,
+            Decision::Action::kNone);
+  EXPECT_EQ(sink.count(telemetry::EventKind::kDmsStallBegin), 2u);
+  queue_.erase(2);
+  lazy.on_serve(r2);
+  EXPECT_EQ(sink.count(telemetry::EventKind::kDmsStallEnd), 2u);
+
+  // Notifications for unstalled requests must not emit spurious ends.
+  const MemRequest r3 = push(3, 2, 4, 0, AccessKind::kRead, true, /*enq=*/0);
+  queue_.erase(3);
+  lazy.on_serve(r3);
+  EXPECT_EQ(sink.count(telemetry::EventKind::kDmsStallEnd), 2u);
 }
 
 TEST_F(SchedulerTest, DmsNeverGatesRowHits) {

@@ -5,6 +5,8 @@
 #include "core/scheme.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/registry.hpp"
 
 namespace lazydram {
 namespace {
@@ -76,6 +78,49 @@ TEST(Report, BenchWorkloadsNonEmptyAndRegistered) {
     EXPECT_FALSE(name.empty());
   }
   EXPECT_GE(sim::bench_workloads().size(), 8u);
+}
+
+// The schedulability fast paths (GpuConfig::fast_path: bank skipping, retry
+// and none-horizon memos, idle-cycle skipping) are a pure wall-clock
+// optimization: with them off the same run must produce bit-identical
+// metrics. Dyn-DMS+AMS exercises every memo (age gating, drops, delay
+// changes); the closed-row baseline exercises the idle-precharge carve-out.
+TEST(Simulator, FastPathOffMatchesFastPathOn) {
+  struct Case {
+    core::SchemeKind kind;
+    RowPolicy row_policy;
+  };
+  for (const Case& c : {Case{core::SchemeKind::kDynCombo, RowPolicy::kOpenRow},
+                        Case{core::SchemeKind::kBaseline, RowPolicy::kClosedRow}}) {
+    const auto wl = workloads::make_workload("SCP");
+    ASSERT_NE(wl, nullptr);
+    sim::RunConfig on;
+    on.spec = core::make_scheme_spec(c.kind, on.gpu.scheme);
+    on.row_policy = c.row_policy;
+    on.compute_error = false;
+    sim::RunConfig off = on;
+    on.gpu.fast_path = true;
+    off.gpu.fast_path = false;
+
+    const sim::RunMetrics a = sim::simulate(*wl, on);
+    const sim::RunMetrics b = sim::simulate(*wl, off);
+    ASSERT_TRUE(a.finished);
+    ASSERT_TRUE(b.finished);
+    EXPECT_EQ(a.core_cycles, b.core_cycles);
+    EXPECT_EQ(a.mem_cycles, b.mem_cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.dram_reads, b.dram_reads);
+    EXPECT_EQ(a.dram_writes, b.dram_writes);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.reads_received, b.reads_received);
+    EXPECT_DOUBLE_EQ(a.avg_rbl, b.avg_rbl);
+    EXPECT_DOUBLE_EQ(a.total_energy_nj, b.total_energy_nj);
+    EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+    EXPECT_DOUBLE_EQ(a.avg_delay, b.avg_delay);
+    EXPECT_DOUBLE_EQ(a.avg_th_rbl, b.avg_th_rbl);
+    EXPECT_DOUBLE_EQ(a.bwutil, b.bwutil);
+  }
 }
 
 }  // namespace

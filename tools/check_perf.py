@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a fresh `bench_micro --perf` report against the checked-in baseline.
+
+Usage: check_perf.py CURRENT.json [BASELINE.json] [--max-slowdown X]
+
+The baseline (bench/BENCH_perf.json) records per-scheme wall time on the
+machine that produced it. CI runners differ wildly from dev boxes, so the
+gate is deliberately generous: a scheme only fails if its wall time exceeds
+the baseline by more than --max-slowdown (default 2.0x). The point is to
+catch order-of-magnitude hot-path regressions (an accidental O(n) scan in
+the scheduler loop, a lost fast path), not single-digit-percent noise.
+
+Exit status: 0 = within budget, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "bench" / "BENCH_perf.json"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_scheme(report):
+    return {s["scheme"]: s for s in report.get("schemes", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly produced BENCH_perf.json")
+    ap.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    ap.add_argument("--max-slowdown", type=float, default=2.0,
+                    help="fail if wall time exceeds baseline by this factor")
+    args = ap.parse_args()
+
+    cur = by_scheme(load(args.current))
+    base = by_scheme(load(args.baseline))
+    if not cur or not base:
+        print("check_perf: report has no schemes[]", file=sys.stderr)
+        sys.exit(2)
+
+    failed = []
+    print(f"{'scheme':<16} {'base(s)':>9} {'current(s)':>11} {'ratio':>7}")
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            print(f"{name:<16} {'-':>9} {'missing':>11} {'-':>7}")
+            failed.append(name)
+            continue
+        ratio = c["wall_seconds"] / b["wall_seconds"] if b["wall_seconds"] > 0 else 0.0
+        verdict = ""
+        if ratio > args.max_slowdown:
+            failed.append(name)
+            verdict = f"  REGRESSION (> {args.max_slowdown:.1f}x)"
+        print(f"{name:<16} {b['wall_seconds']:>9.3f} {c['wall_seconds']:>11.3f} "
+              f"{ratio:>6.2f}x{verdict}")
+
+    if failed:
+        print(f"check_perf: FAILED for {', '.join(failed)}", file=sys.stderr)
+        sys.exit(1)
+    print("check_perf: all schemes within budget")
+
+
+if __name__ == "__main__":
+    main()
