@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   runner.flush();
 
   std::vector<double> xs, ys;
-  std::printf("%-14s %-8s %-10s %-10s\n", "Workload", "Delay", "IPC/base", "BW/base");
+  std::printf("%-14s %-8s %-10s %-10s %-9s %-9s %-9s\n", "Workload", "Delay",
+              "IPC/base", "BW/base", "lat_p50", "lat_p95", "lat_p99");
   for (const std::string& app : sim::bench_workloads()) {
     const sim::RunMetrics& base = runner.baseline(app);
     for (const Cycle d : delays) {
@@ -38,8 +39,11 @@ int main(int argc, char** argv) {
       const double bw_n = m.bwutil / base.bwutil;
       xs.push_back(bw_n);
       ys.push_back(ipc_n);
-      std::printf("%-14s %-8llu %-10.3f %-10.3f\n", app.c_str(),
-                  static_cast<unsigned long long>(d), ipc_n, bw_n);
+      std::printf("%-14s %-8llu %-10.3f %-10.3f %-9llu %-9llu %-9llu\n", app.c_str(),
+                  static_cast<unsigned long long>(d), ipc_n, bw_n,
+                  static_cast<unsigned long long>(m.read_latency_p50),
+                  static_cast<unsigned long long>(m.read_latency_p95),
+                  static_cast<unsigned long long>(m.read_latency_p99));
     }
   }
 

@@ -10,6 +10,7 @@
 // checked-in bench/BENCH_perf.json baseline (tools/check_perf.py).
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include "mem/controller.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/apps.hpp"
 
 namespace {
@@ -134,7 +136,12 @@ struct SchemePerf {
 /// (the saturated hot path) and idle gaps (the compute phases real workloads
 /// spend most cycles in), so both the indexed-queue and the idle-skip layers
 /// are exercised by the measurement.
-SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles) {
+///
+/// `tele`, when non-null, attaches the full observability layer (event
+/// tracer, lifecycle collector, window sampling with per-bank columns) so
+/// --perf-trace measures the tracing-on overhead of the same stream.
+SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles,
+                            telemetry::Telemetry* tele = nullptr) {
   GpuConfig cfg;  // fig12 configuration: Table I defaults.
   // Honor the same A/B knob as sim::simulate so `LAZYDRAM_FAST=off
   // bench_micro --perf` measures the naive loop (see EXPERIMENTS.md).
@@ -148,7 +155,16 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles) {
                                                      cfg.banks_per_channel);
   // The harness has no L2/VP warm-up; arm AMS directly so the drop pass runs.
   sched->set_ams_ready(true);
+  if (tele != nullptr) {
+    sched->set_telemetry(&tele->tracer(), 0);
+    sched->set_lifecycle(tele->lifecycle());
+  }
   MemoryController mc(cfg, 0, mapper, std::move(sched));
+  if (tele != nullptr) {
+    mc.set_tracer(&tele->tracer());
+    mc.set_lifecycle(tele->lifecycle());
+    mc.enable_window_sampling(cfg.scheme.profile_window, &tele->tracer());
+  }
 
   Rng rng(0xF161200ull + static_cast<std::uint64_t>(kind));
   constexpr Cycle kBusyPhase = 3000;
@@ -173,6 +189,8 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles) {
     mc.tick(now);
     while (mc.pop_reply(now)) ++completed;
   }
+  // Flushing the final partial window is part of the traced run's cost.
+  if (tele != nullptr) mc.finalize();
 
   SchemePerf perf;
   perf.wall_seconds = seconds_since(start);
@@ -182,13 +200,38 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles) {
   return perf;
 }
 
-int run_perf(const std::string& out_path, Cycle cycles_per_scheme) {
+/// File-name-safe spelling of a scheme label ("Dyn-DMS+AMS" -> "Dyn_DMS_AMS").
+std::string scheme_file_name(const std::string& scheme) {
+  std::string out = scheme;
+  for (char& c : out)
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  return out;
+}
+
+int run_perf(const std::string& out_path, Cycle cycles_per_scheme,
+             const std::string& trace_dir) {
   std::vector<SchemePerf> results;
   double total_wall = 0.0;
   for (core::SchemeKind kind : core::all_schemes()) {
-    SchemePerf perf = drive_controller(kind, cycles_per_scheme);
-    std::printf("perf  %-16s %8.3f s  %12.0f mem-cycles/s  %10.0f requests/s\n",
-                perf.scheme.c_str(), perf.wall_seconds, perf.cycles_per_second(),
+    // With --perf-trace, every scheme runs with the full observability layer
+    // on and exports a Perfetto-viewable chrome trace into `trace_dir`.
+    std::unique_ptr<telemetry::Telemetry> tele;
+    if (!trace_dir.empty()) {
+      tele = std::make_unique<telemetry::Telemetry>();
+      const std::string path =
+          trace_dir + "/" + scheme_file_name(core::scheme_name(kind)) + ".json";
+      if (!tele->open_chrome_trace(path)) {
+        std::fprintf(stderr, "bench_micro: cannot write trace '%s'\n", path.c_str());
+        return 1;
+      }
+      // 1-in-64 lifecycle sampling: the documented traced-run budget
+      // (check_perf.py --max-slowdown 3.0 in CI) assumes sampled spans.
+      tele->enable_lifecycle(64);
+    }
+    SchemePerf perf = drive_controller(kind, cycles_per_scheme, tele.get());
+    std::printf("perf%c %-16s %8.3f s  %12.0f mem-cycles/s  %10.0f requests/s\n",
+                trace_dir.empty() ? ' ' : '*', perf.scheme.c_str(),
+                perf.wall_seconds, perf.cycles_per_second(),
                 perf.requests_per_second());
     total_wall += perf.wall_seconds;
     results.push_back(std::move(perf));
@@ -215,6 +258,7 @@ int run_perf(const std::string& out_path, Cycle cycles_per_scheme) {
   w.begin_object();
   w.field("benchmark", "bench_micro --perf");
   w.field("config", "fig12 (Table I defaults)");
+  w.field("traced", !trace_dir.empty());
   w.field("cycles_per_scheme", static_cast<std::uint64_t>(cycles_per_scheme));
   w.key("schemes");
   w.begin_array();
@@ -250,6 +294,7 @@ int run_perf(const std::string& out_path, Cycle cycles_per_scheme) {
 int main(int argc, char** argv) {
   bool perf = false;
   std::string out_path = "BENCH_perf.json";
+  std::string trace_dir;
   Cycle cycles_per_scheme = 2'000'000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--perf") == 0) {
@@ -258,9 +303,13 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--perf-cycles") == 0 && i + 1 < argc) {
       cycles_per_scheme = static_cast<Cycle>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--perf-trace") == 0 && i + 1 < argc) {
+      // Existing directory to drop one chrome trace per scheme into; turns
+      // the harness into the tracing-on overhead measurement.
+      trace_dir = argv[++i];
     }
   }
-  if (perf) return run_perf(out_path, cycles_per_scheme);
+  if (perf) return run_perf(out_path, cycles_per_scheme, trace_dir);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

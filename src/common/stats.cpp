@@ -1,18 +1,26 @@
 #include "common/stats.hpp"
 
-#include <algorithm>
+#include <cmath>
 
 namespace lazydram {
 
 std::uint64_t Histogram::percentile(double p) const {
   if (total_ == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
-  // Rank of the sample we are after, 1-based; p = 0 means the first sample.
-  const double target = p * static_cast<double>(total_);
+  // Nearest-rank, 1-based; p = 0 (and NaN) means the first sample, p = 1 the
+  // last. The epsilon absorbs the upward rounding of p * total (0.07 * 100
+  // evaluates to 7.000000000000001, which would otherwise skip to the 8th
+  // sample); percentile fractions are never specified to 1e-9 of a rank.
+  std::uint64_t rank = 1;
+  if (p > 0.0) {
+    const double exact = std::min(p, 1.0) * static_cast<double>(total_);
+    rank = static_cast<std::uint64_t>(std::ceil(exact - 1e-9));
+    if (rank < 1) rank = 1;
+    if (rank > total_) rank = total_;
+  }
   std::uint64_t cumulative = 0;
   for (std::uint64_t k = 0; k <= max_key_; ++k) {
     cumulative += buckets_[k];
-    if (static_cast<double>(cumulative) >= target && cumulative > 0) return k;
+    if (cumulative >= rank) return k;
   }
   return max_key_ + 1;  // The requested rank fell into the overflow bucket.
 }

@@ -1,6 +1,7 @@
 #include "core/lazy_scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/lifecycle.hpp"
 
 namespace lazydram::core {
 
@@ -9,7 +10,11 @@ LazyScheduler::LazyScheduler(const SchemeParams& params, const SchemeSpec& spec,
     : spec_(spec),
       dms_(params, spec.dms_dynamic, spec.dms_enabled ? spec.static_delay : 0),
       ams_(params, spec.ams_dynamic, spec.static_th_rbl),
-      draining_(num_banks, kInvalidRow) {}
+      draining_(num_banks, kInvalidRow),
+      stalled_(num_banks, kNoStall),
+      stall_begin_(num_banks, 0),
+      stall_accounted_(num_banks, 0),
+      bank_stall_cycles_(num_banks, 0) {}
 
 Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
                                Cycle now) {
@@ -95,15 +100,13 @@ void LazyScheduler::on_serve(const MemRequest& req) {
   // A stalled request can be served without another decide() on its bank
   // (e.g. it becomes a row hit after a drain re-opens its row); close the
   // stall here so the trace never leaks an open interval.
-  if (tracer_ != nullptr && stalled_[req.loc.bank] == req.id)
-    trace_stall_end(req.loc.bank, trace_now_);
+  if (stalled_[req.loc.bank] == req.id) trace_stall_end(req.loc.bank, trace_now_);
 }
 
 void LazyScheduler::on_drop(const MemRequest& req) {
   // The drain branch of decide() drops without touching the stall state, so
   // a stalled request swallowed by a row-group drop is closed out here.
-  if (tracer_ != nullptr && stalled_[req.loc.bank] == req.id)
-    trace_stall_end(req.loc.bank, trace_now_);
+  if (stalled_[req.loc.bank] == req.id) trace_stall_end(req.loc.bank, trace_now_);
   ams_.on_drop();
   if (draining_[req.loc.bank] == kInvalidRow) {
     draining_[req.loc.bank] = req.loc.row;
@@ -118,21 +121,40 @@ void LazyScheduler::set_ams_ready(bool ready) { ams_.set_ready(ready); }
 void LazyScheduler::set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {
   tracer_ = tracer;
   channel_ = channel;
-  if (tracer_ != nullptr) stalled_.assign(draining_.size(), kNoStall);
   dms_.set_telemetry(tracer, channel);
   ams_.set_telemetry(tracer, channel);
 }
 
 void LazyScheduler::trace_stall_begin(BankId bank, RequestId req, Cycle now) {
-  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] != kNoStall) return;
+  if (!observing() || stalled_[bank] != kNoStall) return;
   stalled_[bank] = req;
-  tracer_->dms_stall_begin(now, channel_, bank, req, dms_.current_delay());
+  stall_begin_[bank] = now;
+  stall_accounted_[bank] = now;
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->dms_stall_begin(now, channel_, bank, req, dms_.current_delay());
 }
 
 void LazyScheduler::trace_stall_end(BankId bank, Cycle now) {
-  if (tracer_ == nullptr || !tracer_->enabled() || stalled_[bank] == kNoStall) return;
+  if (stalled_[bank] == kNoStall) return;
+  const RequestId req = stalled_[bank];
   stalled_[bank] = kNoStall;
-  tracer_->dms_stall_end(now, channel_, bank);
+  bank_stall_cycles_[bank] += now - stall_accounted_[bank];
+  if (tracer_ != nullptr && tracer_->enabled()) tracer_->dms_stall_end(now, channel_, bank);
+  if (lifecycle_ != nullptr && now > stall_begin_[bank])
+    lifecycle_->on_gate_end(req, stall_begin_[bank], now);
+}
+
+void LazyScheduler::harvest_bank_stalls(Cycle end, std::vector<std::uint64_t>& cum) {
+  // Rebase open stalls so the per-window deltas telescope: the accounted
+  // tail moves to `end` here, while stall_begin_ (the lifecycle interval's
+  // true start) is untouched. Observational bookkeeping only.
+  for (BankId b = 0; b < stalled_.size(); ++b) {
+    if (stalled_[b] != kNoStall && end > stall_accounted_[b]) {
+      bank_stall_cycles_[b] += end - stall_accounted_[b];
+      stall_accounted_[b] = end;
+    }
+    cum[b] += bank_stall_cycles_[b];
+  }
 }
 
 void LazyScheduler::fill_probe(telemetry::WindowProbe& probe) const {

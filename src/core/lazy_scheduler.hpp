@@ -26,6 +26,10 @@
 #include "core/scheme.hpp"
 #include "mem/scheduler.hpp"
 
+namespace lazydram::telemetry {
+class LifecycleCollector;
+}
+
 namespace lazydram::core {
 
 class LazyScheduler : public Scheduler {
@@ -49,7 +53,13 @@ class LazyScheduler : public Scheduler {
   /// scheduling decisions, so enabling it cannot perturb a run.
   void set_telemetry(telemetry::Tracer* tracer, ChannelId channel);
 
+  /// Reports closed DMS age-gate intervals to the lifecycle collector
+  /// (nullable to detach). Observational only, like set_telemetry.
+  void set_lifecycle(telemetry::LifecycleCollector* lifecycle) { lifecycle_ = lifecycle; }
+
   void fill_probe(telemetry::WindowProbe& probe) const override;
+  void enable_bank_stall_tracking() override { bank_stats_ = true; }
+  void harvest_bank_stalls(Cycle end, std::vector<std::uint64_t>& cum) override;
 
   const SchemeSpec& spec() const { return spec_; }
   const DmsUnit& dms() const { return dms_; }
@@ -67,6 +77,13 @@ class LazyScheduler : public Scheduler {
  private:
   void trace_stall_begin(BankId bank, RequestId req, Cycle now);
   void trace_stall_end(BankId bank, Cycle now);
+
+  /// True when any observability consumer (event tracer, lifecycle
+  /// collector, per-bank window stats) wants stall intervals tracked.
+  bool observing() const {
+    return (tracer_ != nullptr && tracer_->enabled()) || lifecycle_ != nullptr ||
+           bank_stats_;
+  }
 
   SchemeSpec spec_;
   DmsUnit dms_;
@@ -88,15 +105,26 @@ class LazyScheduler : public Scheduler {
 
   telemetry::Tracer* tracer_ = nullptr;
   ChannelId channel_ = 0;
+  telemetry::LifecycleCollector* lifecycle_ = nullptr;
+  bool bank_stats_ = false;
   /// No-stall sentinel for `stalled_` (request ids are small monotonic
   /// integers, so the all-ones pattern is never a real id).
   static constexpr RequestId kNoStall = ~RequestId{0};
   /// Per-bank id of the currently age-gated request (kNoStall if none), for
   /// stall begin/end events. Tracking the id — not just a flag — lets
   /// on_serve/on_drop close a stall whose request leaves the queue without a
-  /// further decide() on its bank. Only touched when tracing is enabled;
-  /// never consulted for decisions.
+  /// further decide() on its bank. Only touched when observing(); never
+  /// consulted for decisions.
   std::vector<RequestId> stalled_;
+  /// Cycle the open stall of each bank began (lifecycle gate intervals).
+  std::vector<Cycle> stall_begin_;
+  /// Start of the open stall's not-yet-accounted tail. Identical to
+  /// stall_begin_ except after harvest_bank_stalls() rebases it at a window
+  /// boundary, so bank_stall_cycles_ telescopes across windows while the
+  /// lifecycle interval keeps its true begin.
+  std::vector<Cycle> stall_accounted_;
+  /// Cumulative per-bank DMS-stall cycles (the windowed bank probe).
+  std::vector<std::uint64_t> bank_stall_cycles_;
   /// Cycle of the most recent tick(); timestamps stall-end events emitted
   /// from on_serve/on_drop, which carry no cycle of their own.
   Cycle trace_now_ = 0;

@@ -30,7 +30,13 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
                 "workload grid exceeds one wave of resident warps");
   for (unsigned w = 0; w < warps; ++w) sms_[w % cfg.num_sms]->assign_warp(w);
 
-  if (telemetry != nullptr) tracer_ = &telemetry->tracer();
+  if (telemetry != nullptr) {
+    tracer_ = &telemetry->tracer();
+    lifecycle_ = telemetry->lifecycle();
+    // The GPU pipeline owns record creation (L2 miss) and the warp-wakeup
+    // close; the controller hooks only fill in existing records.
+    if (lifecycle_ != nullptr) lifecycle_->set_external_creation(true);
+  }
 
   if (check != nullptr && !check->active()) check = nullptr;
 
@@ -42,9 +48,11 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
     p.lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
     const bool is_fcfs = dynamic_cast<FcfsScheduler*>(sched.get()) != nullptr;
     if (tracer_ != nullptr && p.lazy != nullptr) p.lazy->set_telemetry(tracer_, ch);
+    if (lifecycle_ != nullptr && p.lazy != nullptr) p.lazy->set_lifecycle(lifecycle_);
     p.mc = std::make_unique<MemoryController>(cfg_, ch, mapper_, std::move(sched),
                                               row_policy);
     if (tracer_ != nullptr) p.mc->set_tracer(tracer_);
+    if (lifecycle_ != nullptr) p.mc->set_lifecycle(lifecycle_);
     if (check != nullptr) {
       if (check->config().mode != check::CheckMode::kOff) {
         check::CheckerOptions opts;
@@ -128,6 +136,7 @@ void GpuTop::handle_request_packet(Partition& p, unsigned idx, const icnt::Packe
   const auto it = p.waiting.find(pkt.line_addr);
   if (it != p.waiting.end()) {
     it->second.push_back(pkt);
+    if (lifecycle_ != nullptr) lifecycle_->on_mshr_merge(pkt.line_addr);
     return;
   }
   if (p.waiting.size() >= cfg_.l2.mshr_entries || !p.mc->can_accept()) {
@@ -142,6 +151,11 @@ void GpuTop::handle_request_packet(Partition& p, unsigned idx, const icnt::Packe
   req.kind = AccessKind::kRead;
   req.approximable = pkt.approximable;
   req.src_sm = pkt.src_sm;
+  // Open the lifecycle record before enqueue so the controller's hook finds
+  // it (the sampling decision is made inside the collector).
+  if (lifecycle_ != nullptr)
+    lifecycle_->on_request_created(req.id, pkt.line_addr, pkt.inject_cycle,
+                                   pkt.eject_cycle, core_cycle_);
   p.mc->enqueue(req, mem_now_);
   (void)idx;
 }
@@ -171,6 +185,7 @@ void GpuTop::partition_tick(Partition& p, unsigned idx, bool mem_ticked) {
       auto popped = req_xbar_.pop(idx, core_cycle_);
       if (!popped) break;
       pkt = *popped;
+      pkt.eject_cycle = core_cycle_;  // Lifecycle stamp: crossbar exit.
     }
     bool stalled = false;
     handle_request_packet(p, idx, pkt, stalled);
@@ -186,6 +201,7 @@ void GpuTop::partition_tick(Partition& p, unsigned idx, bool mem_ticked) {
   for (unsigned n = 0; n < kRepliesPerCycle; ++n) {
     auto reply = p.mc->pop_reply(mem_now_);
     if (!reply) break;
+    if (lifecycle_ != nullptr) lifecycle_->on_reply_pop(reply->id, core_cycle_);
 
     if (reply->approximate) {
       // The request never touched DRAM; the VP unit synthesizes the line
@@ -212,6 +228,7 @@ void GpuTop::partition_tick(Partition& p, unsigned idx, bool mem_ticked) {
     for (const icnt::Packet& waiter : it->second) {
       icnt::Packet out = waiter;
       out.approximate = reply->approximate;
+      out.parent = reply->id;  // Lifecycle stamp: which request this answers.
       p.pending_replies.push_back(
           PendingReply{core_cycle_ + cfg_.l2_hit_latency, out});
     }
@@ -245,7 +262,11 @@ void GpuTop::step() {
     partition_tick(partitions_[ch], ch, mem_ticked);
   reply_xbar_.tick(core_cycle_);
   for (SmId s = 0; s < sms_.size(); ++s)
-    while (auto pkt = reply_xbar_.pop(s, core_cycle_)) sms_[s]->on_reply(*pkt);
+    while (auto pkt = reply_xbar_.pop(s, core_cycle_)) {
+      if (lifecycle_ != nullptr && pkt->parent != 0)
+        lifecycle_->on_warp_wakeup(pkt->parent, core_cycle_);
+      sms_[s]->on_reply(*pkt);
+    }
 }
 
 void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
@@ -272,6 +293,8 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
                     [mc] { return mc->read_latency().count(); });
     hub.add_gauge(channel_stat("mem", ch, "read_latency_mean"),
                   [mc] { return mc->read_latency().mean(); });
+    hub.add_histogram(channel_stat("mem", ch, "read_latency"),
+                      &mc->read_latency_hist());
 
     const dram::DramChannel* dc = &mc->channel();
     hub.add_counter(channel_stat("dram", ch, "activations"),

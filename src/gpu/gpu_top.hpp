@@ -132,6 +132,8 @@ class GpuTop {
   Cycle mem_now_ = 0;
   RequestId next_request_id_ = 1;
   telemetry::Tracer* tracer_ = nullptr;  ///< Borrowed; null when detached.
+  /// Borrowed lifecycle collector; null when detached. Observational only.
+  telemetry::LifecycleCollector* lifecycle_ = nullptr;
   /// Per-channel checkers, borrowed from the CheckContext (empty when
   /// checking is off; used only for stats registration).
   std::vector<check::ProtocolChecker*> checkers_;

@@ -94,6 +94,7 @@ Sm::IssueResult Sm::issue_memory_line(unsigned warp_idx, Cycle now,
     pkt.kind = AccessKind::kRead;
     pkt.approximable = w.op.approximable;
     pkt.src_sm = id_;
+    pkt.inject_cycle = now;  // Lifecycle stamp: crossbar entry.
     req_xbar.push(id_, mapper_.channel_of(line), pkt);
   }
   return IssueResult::kIssued;

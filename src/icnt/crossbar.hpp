@@ -26,6 +26,12 @@ struct Packet {
   bool approximable = false;  ///< Request: annotated-approximable load.
   bool approximate = false;   ///< Reply: value was VP-synthesized.
   SmId src_sm = 0;            ///< Originating SM (for reply routing).
+
+  // Lifecycle-tracing stamps (core cycles; observational only, never
+  // consulted by the switch or the receivers' logic).
+  Cycle inject_cycle = 0;  ///< Request: when the SM pushed the primary load.
+  Cycle eject_cycle = 0;   ///< Request: when the partition popped it.
+  RequestId parent = 0;    ///< Reply: MemRequest id this packet answers.
 };
 
 class Crossbar {

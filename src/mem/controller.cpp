@@ -5,6 +5,7 @@
 #include "check/checker.hpp"
 #include "check/recorder.hpp"
 #include "common/assert.hpp"
+#include "telemetry/lifecycle.hpp"
 
 namespace lazydram {
 
@@ -23,7 +24,10 @@ MemoryController::MemoryController(const GpuConfig& cfg, ChannelId id,
       num_banks_(cfg.banks_per_channel),
       fast_path_(cfg.fast_path),
       bank_retry_at_(cfg.banks_per_channel, 0),
-      bank_none_until_(cfg.banks_per_channel, 0) {
+      bank_none_until_(cfg.banks_per_channel, 0),
+      bank_acts_(cfg.banks_per_channel, 0),
+      bank_cols_(cfg.banks_per_channel, 0),
+      bank_drops_(cfg.banks_per_channel, 0) {
   LD_ASSERT(scheduler_ != nullptr);
   drops_possible_ = scheduler_->drops_possible();
 }
@@ -38,6 +42,7 @@ void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
   else
     ++writes_received_;
   scheduler_->on_enqueue(req);
+  if (lifecycle_ != nullptr) lifecycle_->on_enqueue(req, id_, now_mem);
   if (checker_ != nullptr) checker_->on_enqueue(req, now_mem);
   if (recorder_ != nullptr) recorder_->on_enqueue(req);
   // An arrival can change the bank's decision; both memos are stale, and so
@@ -60,6 +65,8 @@ void MemoryController::complete_bursts(Cycle now) {
     if (it->req.is_read()) {
       ++reads_served_;
       read_latency_.add(static_cast<double>(it->done - it->req.enqueue_cycle));
+      read_latency_hist_.add(it->done - it->req.enqueue_cycle);
+      if (lifecycle_ != nullptr) lifecycle_->on_data_return(it->req.id, it->done);
       replies_.push_back(MemReply{it->req.id, it->req.line_addr, it->req.src_sm,
                                   /*approximate=*/false, it->done});
     } else {
@@ -81,9 +88,11 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now,
       return false;
     }
     const Cycle done = dram_.issue(cas, b, req.loc.row, now);
+    ++bank_cols_[b];
     if (checker_ != nullptr) checker_->on_command(cas, b, req.loc.row, now, queue_);
     MemRequest popped = queue_.erase(req.id);
     scheduler_->on_serve(popped);
+    if (lifecycle_ != nullptr && popped.is_read()) lifecycle_->on_cas(popped.id, now);
     if (recorder_ != nullptr) recorder_->on_serve(popped.id, now, done);
     inflight_.push_back(InFlight{std::move(popped), done});
     if (done < next_burst_done_) next_burst_done_ = done;
@@ -111,6 +120,7 @@ bool MemoryController::advance_request(const MemRequest& req, Cycle now,
     return false;
   }
   dram_.issue(CommandKind::kActivate, b, req.loc.row, now);
+  ++bank_acts_[b];
   if (checker_ != nullptr)
     checker_->on_command(CommandKind::kActivate, b, req.loc.row, now, queue_);
   if (tracer_ != nullptr) tracer_->row_activate(now, id_, b, req.loc.row);
@@ -310,7 +320,11 @@ void MemoryController::tick(Cycle now_mem) {
         cmd_wake_ = 0;
         drop_wake_ = 0;
         ++reads_dropped_;
+        ++bank_drops_[dropped.loc.bank];
         scheduler_->on_drop(dropped);
+        // After on_drop so the scheduler's stall closeout reaches the
+        // collector before the record finalizes.
+        if (lifecycle_ != nullptr) lifecycle_->on_drop(dropped.id, now_mem);
         if (recorder_ != nullptr) recorder_->on_drop(dropped.id, now_mem);
         if (tracer_ != nullptr)
           tracer_->row_group_drop(now_mem, id_, dropped.loc.bank, dropped.loc.row,
@@ -357,6 +371,19 @@ void MemoryController::finalize() {
 
 void MemoryController::enable_window_sampling(Cycle window, telemetry::Tracer* tracer) {
   sampler_ = std::make_unique<telemetry::WindowSampler>(id_, window, tracer);
+  scheduler_->enable_bank_stall_tracking();
+  stall_scratch_.assign(num_banks_, 0);
+  sampler_->set_bank_probe(
+      num_banks_, [this](Cycle end, std::vector<telemetry::BankProbe>& out) {
+        std::fill(stall_scratch_.begin(), stall_scratch_.end(), std::uint64_t{0});
+        scheduler_->harvest_bank_stalls(end, stall_scratch_);
+        for (unsigned b = 0; b < num_banks_; ++b) {
+          out[b].activations = bank_acts_[b];
+          out[b].column_accesses = bank_cols_[b];
+          out[b].drops = bank_drops_[b];
+          out[b].stall_cycles = stall_scratch_[b];
+        }
+      });
 }
 
 void MemoryController::fill_channel_counters(telemetry::WindowProbe& p) const {

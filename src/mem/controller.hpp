@@ -36,6 +36,10 @@ class ProtocolChecker;
 class ChannelRecorder;
 }  // namespace check
 
+namespace telemetry {
+class LifecycleCollector;
+}  // namespace telemetry
+
 enum class RowPolicy { kOpenRow, kClosedRow };
 
 class MemoryController {
@@ -73,6 +77,10 @@ class MemoryController {
   std::uint64_t reads_dropped() const { return reads_dropped_; }
   const Summary& read_latency() const { return read_latency_; }
 
+  /// Read latency (enqueue -> data return, memory cycles) as a histogram;
+  /// always on, feeds the run-level p50/p95/p99.
+  const Histogram& read_latency_hist() const { return read_latency_hist_; }
+
   /// Ends the run: folds still-open rows into the RBL histograms and closes
   /// the sampler's final partial window.
   void finalize();
@@ -84,8 +92,14 @@ class MemoryController {
   void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
 
   /// Starts per-window sampling of this channel (window in memory cycles).
-  /// `tracer` may be null; samples are then only kept in memory.
+  /// `tracer` may be null; samples are then only kept in memory. Windows
+  /// carry per-bank columns (activations, column accesses, drops, DMS-stall
+  /// cycles) harvested from the controller and the policy at window close.
   void enable_window_sampling(Cycle window, telemetry::Tracer* tracer);
+
+  /// Attaches a request-lifecycle collector observing enqueue/CAS/data-
+  /// return/drop boundaries (nullable to detach; never feeds back).
+  void set_lifecycle(telemetry::LifecycleCollector* lifecycle) { lifecycle_ = lifecycle; }
 
   /// The window series recorded so far, or nullptr when sampling is off.
   const telemetry::WindowSampler* sampler() const { return sampler_.get(); }
@@ -183,8 +197,18 @@ class MemoryController {
   std::uint64_t writes_served_ = 0;
   std::uint64_t reads_dropped_ = 0;
   Summary read_latency_;
+  Histogram read_latency_hist_{4096};
+
+  /// Always-on per-bank cumulative command counters (one increment per
+  /// issued ACT / column access / drop); the window sampler's bank probe
+  /// differences them into per-window heatmap columns.
+  std::vector<std::uint64_t> bank_acts_;
+  std::vector<std::uint64_t> bank_cols_;
+  std::vector<std::uint64_t> bank_drops_;
+  std::vector<std::uint64_t> stall_scratch_;  ///< Bank-probe harvest buffer.
 
   telemetry::Tracer* tracer_ = nullptr;
+  telemetry::LifecycleCollector* lifecycle_ = nullptr;  ///< Borrowed; null when off.
   std::unique_ptr<telemetry::WindowSampler> sampler_;
 
   check::ProtocolChecker* checker_ = nullptr;    ///< Borrowed; null when off.

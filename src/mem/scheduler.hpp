@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "mem/pending_queue.hpp"
@@ -94,6 +95,21 @@ class Scheduler {
   /// Contributes policy-side gauges (DMS delay, Th_RBL, ...) to a windowed
   /// telemetry probe. Plain policies have nothing to add.
   virtual void fill_probe(telemetry::WindowProbe& probe) const { (void)probe; }
+
+  /// Asks the policy to start accumulating per-bank observability counters
+  /// (DMS stall cycles) for the windowed bank probe. Policies without
+  /// bank-level state ignore it.
+  virtual void enable_bank_stall_tracking() {}
+
+  /// Adds the policy's cumulative per-bank DMS-stall cycles as of memory
+  /// cycle `end` into `cum` (pre-zeroed, sized to the bank count). The
+  /// default policy has no stalls and leaves the zeros. Observational only:
+  /// implementations may rebase internal bookkeeping but must never let this
+  /// affect scheduling decisions.
+  virtual void harvest_bank_stalls(Cycle end, std::vector<std::uint64_t>& cum) {
+    (void)end;
+    (void)cum;
+  }
 };
 
 }  // namespace lazydram

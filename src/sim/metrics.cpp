@@ -61,6 +61,9 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
     latency_weighted += hub.gauge(channel_stat("mem", ch, "read_latency_mean")) *
                         static_cast<double>(lat_count);
     latency_count += lat_count;
+    const Histogram& hl = hub.histogram(channel_stat("mem", ch, "read_latency"));
+    for (std::uint64_t k = 0; k < hl.bucket_count(); ++k)
+      m.read_latency_hist.add(k, hl.at(k));
 
     l2_hits += hub.counter(channel_stat("cache.l2", ch, "hits"));
     l2_accesses += hub.counter(channel_stat("cache.l2", ch, "accesses"));
@@ -87,6 +90,9 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
                                      (static_cast<double>(m.mem_cycles) * gpu.num_channels());
   m.avg_read_latency_mem_cycles =
       latency_count == 0 ? 0.0 : latency_weighted / static_cast<double>(latency_count);
+  m.read_latency_p50 = m.read_latency_hist.percentile(0.50);
+  m.read_latency_p95 = m.read_latency_hist.percentile(0.95);
+  m.read_latency_p99 = m.read_latency_hist.percentile(0.99);
   m.l2_hit_rate =
       l2_accesses == 0 ? 0.0 : static_cast<double>(l2_hits) / static_cast<double>(l2_accesses);
   if (lazy_channels > 0) {

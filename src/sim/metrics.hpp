@@ -47,6 +47,14 @@ struct RunMetrics {
   double l2_hit_rate = 0.0;
   double avg_read_latency_mem_cycles = 0.0;
 
+  /// Read-latency distribution (enqueue -> data return, memory cycles),
+  /// merged over channels. The percentiles come from here; the mean stays
+  /// the exact Summary-based average above.
+  Histogram read_latency_hist{4096};
+  std::uint64_t read_latency_p50 = 0;
+  std::uint64_t read_latency_p95 = 0;
+  std::uint64_t read_latency_p99 = 0;
+
   Histogram rbl_hist{64};           ///< Activation count per achieved RBL.
   Histogram rbl_readonly_hist{64};  ///< Same, rows that served only reads.
 

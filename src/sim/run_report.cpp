@@ -31,6 +31,9 @@ void write_metrics_section(telemetry::JsonWriter& w, const RunMetrics& m) {
   w.field("bwutil", m.bwutil);
   w.field("l2_hit_rate", m.l2_hit_rate);
   w.field("avg_read_latency_mem_cycles", m.avg_read_latency_mem_cycles);
+  w.field("read_latency_p50", m.read_latency_p50);
+  w.field("read_latency_p95", m.read_latency_p95);
+  w.field("read_latency_p99", m.read_latency_p99);
   w.field("rbl_p50", m.rbl_hist.percentile(0.50));
   w.field("rbl_p90", m.rbl_hist.percentile(0.90));
   w.field("rbl_p99", m.rbl_hist.percentile(0.99));
@@ -60,6 +63,45 @@ void write_window(telemetry::JsonWriter& w, const telemetry::WindowSample& s) {
   w.field("reads_received", s.reads_received);
   w.field("coverage", s.coverage);
   w.field("energy_nj", s.energy_nj);
+  if (!s.banks.empty()) {
+    w.key("banks");
+    w.begin_array();
+    for (const telemetry::BankWindowSample& b : s.banks) {
+      w.begin_object();
+      w.field("act", b.activations);
+      w.field("cols", b.column_accesses);
+      w.field("row_hits", b.row_hits);
+      w.field("drops", b.drops);
+      w.field("stall", b.dms_stall_cycles);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void write_lifecycle_section(telemetry::JsonWriter& w,
+                             const telemetry::LifecycleSummary& s) {
+  w.key("lifecycle");
+  w.begin_object();
+  w.field("sample_every", s.sample_every);
+  w.field("sampled", s.sampled);
+  w.field("served", s.served);
+  w.field("dropped", s.dropped);
+  w.field("mshr_merges", s.mshr_merges);
+  w.key("phases");
+  w.begin_array();
+  for (const auto& p : s.phases) {
+    w.begin_object();
+    w.field("phase", p.phase);
+    w.field("count", p.count);
+    w.field("mean", p.mean);
+    w.field("p50", p.p50);
+    w.field("p95", p.p95);
+    w.field("p99", p.p99);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -116,6 +158,7 @@ void write_json_report(std::FILE* out, const RunMetrics& metrics,
   w.end_object();
 
   write_windows_section(w, telemetry);
+  if (telemetry.lifecycle_enabled) write_lifecycle_section(w, telemetry.lifecycle);
   write_stats_section(w, telemetry.stats);
   w.end_object();
   std::fputc('\n', out);

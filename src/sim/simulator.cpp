@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "check/context.hpp"
 #include "common/assert.hpp"
@@ -68,9 +69,37 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
   if (trace_path.empty()) trace_path = telemetry::env_string("LAZYDRAM_TRACE");
   std::string json_path = config.json_report_path;
   if (json_path.empty()) json_path = telemetry::env_string("LAZYDRAM_JSON");
+  std::string trace_format = config.trace_format;
+  if (trace_format.empty()) trace_format = telemetry::env_string("LAZYDRAM_TRACE_FORMAT");
+  if (trace_format.empty()) trace_format = "jsonl";
+  std::uint64_t trace_sample = config.trace_sample;
+  if (trace_sample == 0) {
+    // Accept "N" or the documented "1/N" spelling.
+    std::string s = telemetry::env_string("LAZYDRAM_TRACE_SAMPLE");
+    if (s.rfind("1/", 0) == 0) s = s.substr(2);
+    trace_sample = s.empty() ? 1 : std::strtoull(s.c_str(), nullptr, 10);
+    if (trace_sample == 0) {
+      log_warn("LAZYDRAM_TRACE_SAMPLE='%s' not a positive integer; using 1", s.c_str());
+      trace_sample = 1;
+    }
+  }
 
   telemetry::Telemetry tele;
-  if (!trace_path.empty()) tele.open_jsonl_trace(trace_path);
+  if (!trace_path.empty()) {
+    if (trace_format == "chrome") {
+      tele.open_chrome_trace(trace_path, static_cast<double>(cfg.mem_clock_mhz) /
+                                             static_cast<double>(cfg.core_clock_mhz));
+    } else {
+      if (trace_format != "jsonl")
+        log_warn("LAZYDRAM_TRACE_FORMAT='%s' not recognized (want jsonl|chrome); "
+                 "using jsonl",
+                 trace_format.c_str());
+      tele.open_jsonl_trace(trace_path);
+    }
+  }
+  // Lifecycle collection rides every traced run (so the tracing-determinism
+  // tests cover it) and can be requested alone via config.lifecycle.
+  if (config.lifecycle || !trace_path.empty()) tele.enable_lifecycle(trace_sample);
   tele.set_window_sampling(config.window_sampling || !trace_path.empty() ||
                                 !json_path.empty());
 
@@ -109,6 +138,10 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
                                                        : std::vector<telemetry::WindowSample>{});
   }
   out.telemetry.stats = tele.hub().snapshot();
+  if (telemetry::LifecycleCollector* lc = tele.lifecycle()) {
+    out.telemetry.lifecycle_enabled = true;
+    out.telemetry.lifecycle = lc->summary();
+  }
 
   // Log-mode violations don't abort the run; make sure they can't scroll
   // away unnoticed either.

@@ -33,7 +33,16 @@ struct RunConfig {
 
   // --- Observability (all off by default; enabling any of it is guaranteed
   // not to change RunMetrics) ---
-  std::string trace_path;   ///< JSONL event trace; "" defers to $LAZYDRAM_TRACE.
+  std::string trace_path;   ///< Event/lifecycle trace; "" defers to $LAZYDRAM_TRACE.
+  /// Trace file format: "jsonl" (default) or "chrome" (Perfetto-viewable
+  /// Chrome Trace Event array); "" defers to $LAZYDRAM_TRACE_FORMAT.
+  std::string trace_format;
+  /// Lifecycle sampling: record 1 read request in N. 0 defers to
+  /// $LAZYDRAM_TRACE_SAMPLE (accepted as "N" or "1/N"), default 1.
+  std::uint64_t trace_sample = 0;
+  /// Collect per-request lifecycles even without a trace file (summaries
+  /// land in RunTelemetry / the JSON report). Implied by trace_path.
+  bool lifecycle = false;
   std::string json_report_path;  ///< JSON run report; "" defers to $LAZYDRAM_JSON.
   bool window_sampling = false;  ///< Forced on when either path resolves non-empty.
 

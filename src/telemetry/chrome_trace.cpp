@@ -1,0 +1,192 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace lazydram::telemetry {
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path, double core_to_mem)
+    : path_(path), core_to_mem_(core_to_mem > 0.0 ? core_to_mem : 1.0) {
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) {
+    log_warn("cannot open trace file '%s'; tracing disabled", path.c_str());
+    return;
+  }
+  std::fputs("[\n", out_);
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  if (out_ == nullptr) return;
+  std::fputs("\n]\n", out_);
+  std::fclose(out_);
+}
+
+void ChromeTraceSink::raw(const char* fmt, ...) {
+  if (out_ == nullptr) return;
+  if (!first_) std::fputs(",\n", out_);
+  first_ = false;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(out_, fmt, args);
+  va_end(args);
+}
+
+void ChromeTraceSink::ensure_process(ChannelId channel) {
+  if (channel >= process_named_.size()) process_named_.resize(channel + 1, false);
+  if (process_named_[channel]) return;
+  process_named_[channel] = true;
+  raw("{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"mem channel %u\"}}",
+      channel, channel);
+}
+
+void ChromeTraceSink::async_begin(ChannelId pid, RequestId id, const char* name, double ts) {
+  raw("{\"ph\":\"b\",\"cat\":\"req\",\"id\":%" PRIu64 ",\"pid\":%u,\"tid\":0"
+      ",\"ts\":%.3f,\"name\":\"%s\"}",
+      id, pid, ts, name);
+}
+
+void ChromeTraceSink::async_end(ChannelId pid, RequestId id, double ts) {
+  raw("{\"ph\":\"e\",\"cat\":\"req\",\"id\":%" PRIu64 ",\"pid\":%u,\"tid\":0"
+      ",\"ts\":%.3f}",
+      id, pid, ts);
+}
+
+void ChromeTraceSink::on_event(const TraceEvent& e) {
+  if (out_ == nullptr) return;
+  // Only low-rate control-plane events become instants; per-command events
+  // (ACT, drop, VP, stall begin/end) are carried in aggregate by the window
+  // counters and the request spans, and would swamp the UI at full rate.
+  switch (e.kind) {
+    case EventKind::kDmsDelayChange:
+      ensure_process(e.channel);
+      raw("{\"ph\":\"i\",\"s\":\"p\",\"pid\":%u,\"tid\":0,\"ts\":%.3f"
+          ",\"name\":\"dms_delay %" PRIu64 "->%" PRIu64 "\"}",
+          e.channel, static_cast<double>(e.cycle), e.b, e.a);
+      break;
+    case EventKind::kAmsThresholdChange:
+      ensure_process(e.channel);
+      raw("{\"ph\":\"i\",\"s\":\"p\",\"pid\":%u,\"tid\":0,\"ts\":%.3f"
+          ",\"name\":\"th_rbl %" PRIu64 "->%" PRIu64 "\"}",
+          e.channel, static_cast<double>(e.cycle), e.b, e.a);
+      break;
+    case EventKind::kCheckViolation:
+      ensure_process(e.channel);
+      raw("{\"ph\":\"i\",\"s\":\"p\",\"pid\":%u,\"tid\":0,\"ts\":%.3f"
+          ",\"name\":\"check_violation %" PRIu64 "\"}",
+          e.channel, static_cast<double>(e.cycle), e.a);
+      break;
+    default:
+      break;
+  }
+}
+
+void ChromeTraceSink::on_window(const WindowSample& w) {
+  if (out_ == nullptr) return;
+  ensure_process(w.channel);
+  const double ts = static_cast<double>(w.end_cycle);
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"queue\","
+      "\"args\":{\"pending\":%.6g}}",
+      w.channel, ts, w.queue_occupancy);
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"bwutil\","
+      "\"args\":{\"bwutil\":%.6g}}",
+      w.channel, ts, w.bwutil);
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"dms_delay\","
+      "\"args\":{\"delay\":%.6g}}",
+      w.channel, ts, w.avg_delay);
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"th_rbl\","
+      "\"args\":{\"th_rbl\":%.6g}}",
+      w.channel, ts, w.avg_th_rbl);
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"drops\","
+      "\"args\":{\"drops\":%" PRIu64 "}}",
+      w.channel, ts, w.drops);
+  if (w.banks.empty()) return;
+  // Stacked per-bank series: one counter track per metric, one series per
+  // bank, so Perfetto renders the (window, bank) heatmap directly.
+  struct Series {
+    const char* name;
+    std::uint64_t (*get)(const BankWindowSample&);
+  };
+  static constexpr Series kSeries[] = {
+      {"bank.act", [](const BankWindowSample& b) { return b.activations; }},
+      {"bank.row_hits", [](const BankWindowSample& b) { return b.row_hits; }},
+      {"bank.stall", [](const BankWindowSample& b) { return b.dms_stall_cycles; }},
+      {"bank.drops", [](const BankWindowSample& b) { return b.drops; }},
+  };
+  for (const Series& s : kSeries) {
+    if (!first_) std::fputs(",\n", out_);
+    first_ = false;
+    std::fprintf(out_, "{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"%s\",\"args\":{",
+                 w.channel, ts, s.name);
+    for (std::size_t b = 0; b < w.banks.size(); ++b)
+      std::fprintf(out_, "%s\"b%zu\":%" PRIu64, b == 0 ? "" : ",", b, s.get(w.banks[b]));
+    std::fputs("}}", out_);
+  }
+}
+
+void ChromeTraceSink::on_lifecycle(const RequestLifecycle& r) {
+  if (out_ == nullptr) return;
+  ensure_process(r.channel);
+  const double ratio = core_to_mem_;
+  const bool has_core = r.inject_core != 0;
+
+  // All stamps on the memory-cycle axis. The two clock domains advance in
+  // lockstep from a shared time base, so converted core stamps interleave
+  // consistently with memory stamps up to one cycle of divider skew; the
+  // monotonic cursor below absorbs that skew so b/e spans always nest.
+  const double inject = static_cast<double>(r.inject_core) * ratio;
+  const double eject = static_cast<double>(r.eject_core) * ratio;
+  const double enq_core = static_cast<double>(r.enqueue_core) * ratio;
+  const double reply = static_cast<double>(r.reply_core) * ratio;
+  const double wakeup = static_cast<double>(r.wakeup_core) * ratio;
+  const double enq = static_cast<double>(r.enqueue_mem);
+  const double terminal = static_cast<double>(r.dropped ? r.drop_mem : r.done_mem);
+
+  double cursor = has_core ? inject : enq;
+  const auto clamp = [&cursor](double t) {
+    cursor = std::max(cursor, t);
+    return cursor;
+  };
+
+  const double begin = cursor;
+  if (!first_) std::fputs(",\n", out_);
+  first_ = false;
+  std::fprintf(out_,
+               "{\"ph\":\"b\",\"cat\":\"req\",\"id\":%" PRIu64 ",\"pid\":%u,\"tid\":0"
+               ",\"ts\":%.3f,\"name\":\"req\",\"args\":{\"line\":%" PRIu64
+               ",\"bank\":%d,\"merged\":%u,\"dropped\":%s}}",
+               r.id, r.channel, begin, r.line_addr, r.bank, r.mshr_merges,
+               r.dropped ? "true" : "false");
+
+  if (has_core) {
+    async_begin(r.channel, r.id, "icnt_request", clamp(inject));
+    async_end(r.channel, r.id, clamp(eject));
+    async_begin(r.channel, r.id, "partition_wait", clamp(eject));
+    async_end(r.channel, r.id, clamp(enq_core));
+  }
+
+  async_begin(r.channel, r.id, "pending", clamp(enq));
+  for (const GateInterval& g : r.gates) {
+    async_begin(r.channel, r.id, "dms_gated", clamp(static_cast<double>(g.begin)));
+    async_end(r.channel, r.id, clamp(static_cast<double>(g.end)));
+  }
+  if (r.dropped) {
+    async_end(r.channel, r.id, clamp(terminal));
+    async_begin(r.channel, r.id, "vp_serve", clamp(terminal));
+    async_end(r.channel, r.id, clamp(terminal));
+  } else {
+    async_end(r.channel, r.id, clamp(static_cast<double>(r.cas_mem)));
+    async_begin(r.channel, r.id, "service", clamp(static_cast<double>(r.cas_mem)));
+    async_end(r.channel, r.id, clamp(terminal));
+  }
+  if (r.reply_core != 0 && r.wakeup_core != 0) {
+    async_begin(r.channel, r.id, "reply_return", clamp(reply));
+    async_end(r.channel, r.id, clamp(wakeup));
+  }
+  async_end(r.channel, r.id, clamp(cursor));  // Close the parent "req" span.
+}
+
+}  // namespace lazydram::telemetry

@@ -1,0 +1,64 @@
+// Chrome Trace Event Format exporter (the JSON array flavor), viewable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Rendering model:
+//
+//  * One "process" per memory channel (pid = channel id, named via metadata
+//    events), so each channel gets its own track group.
+//  * Each sampled request lifecycle becomes a family of async spans
+//    (ph "b"/"e", cat "req", id = request id): a parent `req` span covering
+//    the whole pending interval, with nested attribution child spans
+//    (icnt_request / partition_wait / queue_wait incl. dms_gated gates /
+//    service or vp_serve / reply_return).
+//  * WindowSampler windows become counter tracks (ph "C"): per-channel
+//    queue depth, BWUTIL, DMS delay, Th_RBL, drops — plus stacked per-bank
+//    series (bank.act, bank.row_hits, bank.stall, bank.drops) when the
+//    sampler carries bank columns.
+//  * Low-rate control events (DMS delay change, Th_RBL change, checker
+//    violations) become instants (ph "i"). High-rate per-command events
+//    (ACT / drop / VP / stall) are skipped: windows and spans already carry
+//    them in aggregate, and instants at that volume would swamp the UI.
+//
+// Timebase: 1 memory cycle = 1 µs on the trace axis (ts is a µs double in
+// the format; scaling by the real period would only shrink the numbers).
+// Core-domain stamps are converted with the configured core->mem ratio.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace lazydram::telemetry {
+
+class ChromeTraceSink : public TraceSink {
+ public:
+  /// `core_to_mem` converts core-cycle stamps onto the memory-cycle axis
+  /// (mem_clock_mhz / core_clock_mhz; pass 1.0 when there is no core clock).
+  explicit ChromeTraceSink(const std::string& path, double core_to_mem = 1.0);
+  ~ChromeTraceSink() override;
+
+  ChromeTraceSink(const ChromeTraceSink&) = delete;
+  ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
+
+  bool ok() const { return out_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void on_event(const TraceEvent& event) override;
+  void on_window(const WindowSample& window) override;
+  void on_lifecycle(const RequestLifecycle& request) override;
+
+ private:
+  void raw(const char* fmt, ...);
+  void ensure_process(ChannelId channel);
+  void async_begin(ChannelId pid, RequestId id, const char* name, double ts);
+  void async_end(ChannelId pid, RequestId id, double ts);
+
+  std::string path_;
+  std::FILE* out_ = nullptr;
+  bool first_ = true;
+  double core_to_mem_;
+  std::vector<bool> process_named_;
+};
+
+}  // namespace lazydram::telemetry

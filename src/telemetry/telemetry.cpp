@@ -2,16 +2,28 @@
 
 #include <cstdlib>
 
+#include "telemetry/chrome_trace.hpp"
+
 namespace lazydram::telemetry {
 
 bool Telemetry::open_jsonl_trace(const std::string& path) {
-  owned_sink_ = std::make_unique<JsonlTraceSink>(path);
-  if (!owned_sink_->ok()) {  // Already warned by the sink.
-    owned_sink_.reset();
-    return false;
-  }
+  auto sink = std::make_unique<JsonlTraceSink>(path);
+  if (!sink->ok()) return false;  // Already warned by the sink.
+  owned_sink_ = std::move(sink);
   tracer_.set_sink(owned_sink_.get());
   return true;
+}
+
+bool Telemetry::open_chrome_trace(const std::string& path, double core_to_mem) {
+  auto sink = std::make_unique<ChromeTraceSink>(path, core_to_mem);
+  if (!sink->ok()) return false;  // Already warned by the sink.
+  owned_sink_ = std::move(sink);
+  tracer_.set_sink(owned_sink_.get());
+  return true;
+}
+
+void Telemetry::enable_lifecycle(std::uint64_t sample_every) {
+  lifecycle_ = std::make_unique<LifecycleCollector>(&tracer_, sample_every);
 }
 
 std::string env_string(const char* name) {

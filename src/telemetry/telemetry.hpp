@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "telemetry/hub.hpp"
+#include "telemetry/lifecycle.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/window_sampler.hpp"
 
@@ -35,6 +36,20 @@ class Telemetry {
   /// logged and the tracer stays disabled; returns whether the sink opened.
   bool open_jsonl_trace(const std::string& path);
 
+  /// Attaches a Chrome Trace Event Format sink at `path` (Perfetto /
+  /// chrome://tracing). `core_to_mem` converts core-cycle stamps onto the
+  /// memory-cycle trace axis (mem_clock_mhz / core_clock_mhz). Returns
+  /// whether the sink opened.
+  bool open_chrome_trace(const std::string& path, double core_to_mem = 1.0);
+
+  /// Creates the request-lifecycle collector (sampling 1 request in
+  /// `sample_every`). Call before wiring components; idempotent only in the
+  /// sense that the last call wins.
+  void enable_lifecycle(std::uint64_t sample_every = 1);
+
+  /// The lifecycle collector, or nullptr when not enabled.
+  LifecycleCollector* lifecycle() { return lifecycle_.get(); }
+
   Tracer& tracer() { return tracer_; }
   TelemetryHub& hub() { return hub_; }
   const TelemetryHub& hub() const { return hub_; }
@@ -45,7 +60,8 @@ class Telemetry {
  private:
   Tracer tracer_;
   TelemetryHub hub_;
-  std::unique_ptr<JsonlTraceSink> owned_sink_;
+  std::unique_ptr<TraceSink> owned_sink_;
+  std::unique_ptr<LifecycleCollector> lifecycle_;
   bool window_sampling_ = false;
 };
 
@@ -56,6 +72,8 @@ struct RunTelemetry {
   std::vector<std::vector<WindowSample>> windows;  ///< Indexed by channel.
   TelemetryHub::Snapshot stats;
   RunProfile profile;
+  bool lifecycle_enabled = false;
+  LifecycleSummary lifecycle;  ///< Valid iff lifecycle_enabled.
 };
 
 /// Value of env var `name`, or "" if unset.

@@ -67,6 +67,31 @@ void JsonlTraceSink::on_event(const TraceEvent& e) {
   std::fputs("}\n", out_);
 }
 
+void JsonlTraceSink::on_lifecycle(const RequestLifecycle& r) {
+  if (out_ == nullptr) return;
+  std::fprintf(out_,
+               "{\"type\":\"req\",\"id\":%" PRIu64 ",\"ch\":%u,\"bank\":%d"
+               ",\"line\":%" PRIu64 ",\"dropped\":%s,\"merged\":%u"
+               ",\"inject\":%" PRIu64 ",\"eject\":%" PRIu64 ",\"enq_core\":%" PRIu64
+               ",\"reply\":%" PRIu64 ",\"wakeup\":%" PRIu64 ",\"enq\":%" PRIu64
+               ",\"gated\":%" PRIu64,
+               r.id, r.channel, r.bank, r.line_addr, r.dropped ? "true" : "false",
+               r.mshr_merges, r.inject_core, r.eject_core, r.enqueue_core,
+               r.reply_core, r.wakeup_core, r.enqueue_mem, r.gated_cycles);
+  if (r.dropped)
+    std::fprintf(out_, ",\"drop\":%" PRIu64, r.drop_mem);
+  else
+    std::fprintf(out_, ",\"cas\":%" PRIu64 ",\"done\":%" PRIu64, r.cas_mem, r.done_mem);
+  if (!r.gates.empty()) {
+    std::fputs(",\"gates\":[", out_);
+    for (std::size_t i = 0; i < r.gates.size(); ++i)
+      std::fprintf(out_, "%s[%" PRIu64 ",%" PRIu64 "]", i == 0 ? "" : ",",
+                   r.gates[i].begin, r.gates[i].end);
+    std::fputc(']', out_);
+  }
+  std::fputs("}\n", out_);
+}
+
 void JsonlTraceSink::on_window(const WindowSample& w) {
   if (out_ == nullptr) return;
   std::fprintf(out_,
@@ -76,11 +101,24 @@ void JsonlTraceSink::on_window(const WindowSample& w) {
                ",\"th_rbl_sum\":%" PRIu64 ",\"th_rbl\":%.17g,\"queue\":%.17g"
                ",\"act\":%" PRIu64 ",\"row_hits\":%" PRIu64 ",\"reads\":%" PRIu64
                ",\"writes\":%" PRIu64 ",\"drops\":%" PRIu64 ",\"reads_received\":%" PRIu64
-               ",\"coverage\":%.17g,\"energy_nj\":%.17g}\n",
+               ",\"coverage\":%.17g,\"energy_nj\":%.17g",
                w.channel, w.index, w.start_cycle, w.end_cycle, w.ticks, w.bus_busy_cycles,
                w.bwutil, w.delay_sum, w.avg_delay, w.th_rbl_sum, w.avg_th_rbl,
                w.queue_occupancy, w.activations, w.row_hits, w.column_reads,
                w.column_writes, w.drops, w.reads_received, w.coverage, w.energy_nj);
+  if (!w.banks.empty()) {
+    std::fputs(",\"banks\":[", out_);
+    for (std::size_t b = 0; b < w.banks.size(); ++b) {
+      const BankWindowSample& bk = w.banks[b];
+      std::fprintf(out_,
+                   "%s{\"act\":%" PRIu64 ",\"cols\":%" PRIu64 ",\"row_hits\":%" PRIu64
+                   ",\"drops\":%" PRIu64 ",\"stall\":%" PRIu64 "}",
+                   b == 0 ? "" : ",", bk.activations, bk.column_accesses, bk.row_hits,
+                   bk.drops, bk.dms_stall_cycles);
+    }
+    std::fputc(']', out_);
+  }
+  std::fputs("}\n", out_);
 }
 
 }  // namespace lazydram::telemetry

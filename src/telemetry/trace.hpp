@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -53,6 +54,60 @@ struct TraceEvent {
   double f = 0.0;
 };
 
+/// One DMS age-gate interval of a request, in memory cycles. [begin, end):
+/// the request was the bank's gated candidate from `begin` until the decide
+/// (or serve/drop closeout) at `end`.
+struct GateInterval {
+  Cycle begin = 0;
+  Cycle end = 0;
+};
+
+/// End-to-end lifecycle of one sampled memory read request: every pipeline
+/// boundary it crossed, in its clock domain. Core-domain stamps are zero for
+/// requests driven straight into a MemoryController (bench harnesses, unit
+/// tests) and for phases a request never reached. Memory-domain stamps are
+/// always present once the request was enqueued.
+///
+/// Served reads partition exactly: (cas - enqueue - gated) + gated +
+/// (done - cas) == done - enqueue, the controller's read-latency sample.
+/// AMS-dropped reads end at `drop_mem` with a zero-width VP-served terminal
+/// phase instead of bank service.
+struct RequestLifecycle {
+  RequestId id = 0;
+  Addr line_addr = 0;
+  ChannelId channel = 0;
+  std::int32_t bank = -1;
+  bool dropped = false;        ///< AMS drop (VP-served) instead of DRAM service.
+  std::uint32_t mshr_merges = 0;  ///< L2-MSHR packets merged beyond the primary.
+
+  // Core-domain stamps (0 = never reached / standalone controller mode).
+  Cycle inject_core = 0;   ///< SM pushed the primary packet into the crossbar.
+  Cycle eject_core = 0;    ///< Partition popped the packet from the crossbar.
+  Cycle enqueue_core = 0;  ///< L2 miss allocated; request created.
+  Cycle reply_core = 0;    ///< Partition popped the DRAM/VP reply.
+  Cycle wakeup_core = 0;   ///< First reply packet reached the source SM.
+
+  // Memory-domain stamps.
+  Cycle enqueue_mem = 0;  ///< Entered the controller's pending queue.
+  Cycle cas_mem = 0;      ///< RD issued (served requests only).
+  Cycle done_mem = 0;     ///< Data burst completed (served requests only).
+  Cycle drop_mem = 0;     ///< AMS removed the request (dropped only).
+  Cycle gated_cycles = 0; ///< Total DMS age-gated cycles (sum over `gates`).
+  std::vector<GateInterval> gates;  ///< Individual gate intervals, in order.
+};
+
+/// Per-bank slice of one profiling window (delta counters; see
+/// WindowSampler::set_bank_probe). Renders scheduler fairness — bank-level
+/// activation/hit balance, the drop round-robin, DMS stall skew — as a
+/// heatmap over (window, bank).
+struct BankWindowSample {
+  std::uint64_t activations = 0;
+  std::uint64_t column_accesses = 0;
+  std::uint64_t row_hits = 0;  ///< column_accesses beyond each activation's first.
+  std::uint64_t drops = 0;
+  std::uint64_t dms_stall_cycles = 0;  ///< Cycles the bank's candidate sat age-gated.
+};
+
 /// One closed profiling window of a channel (see WindowSampler). Counters
 /// are deltas over the window; *_sum fields are per-tick accumulations whose
 /// grand totals reproduce the end-of-run time-weighted averages exactly.
@@ -81,6 +136,9 @@ struct WindowSample {
   std::uint64_t reads_received = 0;
   double coverage = 0.0;        ///< drops / reads_received within the window.
   double energy_nj = 0.0;       ///< Row + access energy spent this window.
+
+  /// Per-bank columns; empty unless a bank probe was attached to the sampler.
+  std::vector<BankWindowSample> banks;
 };
 
 /// Receives traced events. Implementations must not mutate simulator state.
@@ -89,6 +147,9 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void on_event(const TraceEvent& event) = 0;
   virtual void on_window(const WindowSample& window) = 0;
+  /// A sampled request completed its lifecycle (served, or dropped to the
+  /// VP). Default ignores it so event-only sinks need no change.
+  virtual void on_lifecycle(const RequestLifecycle& request) { (void)request; }
 };
 
 /// Appends one JSON object per event/window to a file (JSON Lines). On open
@@ -107,6 +168,7 @@ class JsonlTraceSink : public TraceSink {
 
   void on_event(const TraceEvent& event) override;
   void on_window(const WindowSample& window) override;
+  void on_lifecycle(const RequestLifecycle& request) override;
 
  private:
   std::string path_;
@@ -125,6 +187,9 @@ class Tracer {
   }
   void emit_window(const WindowSample& window) {
     if (sink_ != nullptr) sink_->on_window(window);
+  }
+  void emit_lifecycle(const RequestLifecycle& request) {
+    if (sink_ != nullptr) sink_->on_lifecycle(request);
   }
 
   // --- Typed emit helpers (document the a/b/f payload per kind) ---

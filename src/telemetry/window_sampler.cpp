@@ -1,6 +1,14 @@
 #include "telemetry/window_sampler.hpp"
 
+#include <utility>
+
 namespace lazydram::telemetry {
+
+void WindowSampler::set_bank_probe(unsigned num_banks, BankProbeFn fn) {
+  bank_probe_ = std::move(fn);
+  bank_scratch_.assign(num_banks, BankProbe{});
+  bank_base_.assign(num_banks, BankProbe{});
+}
 
 void WindowSampler::tick(Cycle now, const WindowProbe& probe) {
   // Same boundary arithmetic as DmsUnit/AmsUnit: the tick that lands on the
@@ -50,6 +58,25 @@ void WindowSampler::close_window(Cycle end, const WindowProbe& probe) {
   w.coverage = w.reads_received == 0
                    ? 0.0
                    : static_cast<double>(w.drops) / static_cast<double>(w.reads_received);
+
+  if (bank_probe_) {
+    for (auto& b : bank_scratch_) b = BankProbe{};
+    bank_probe_(end, bank_scratch_);
+    w.banks.resize(bank_scratch_.size());
+    for (std::size_t b = 0; b < bank_scratch_.size(); ++b) {
+      const BankProbe& cur = bank_scratch_[b];
+      const BankProbe& base = bank_base_[b];
+      BankWindowSample& out = w.banks[b];
+      out.activations = cur.activations - base.activations;
+      out.column_accesses = cur.column_accesses - base.column_accesses;
+      out.drops = cur.drops - base.drops;
+      out.dms_stall_cycles = cur.stall_cycles - base.stall_cycles;
+      out.row_hits = out.column_accesses > out.activations
+                         ? out.column_accesses - out.activations
+                         : 0;
+    }
+    bank_base_ = bank_scratch_;
+  }
 
   samples_.push_back(w);
   if (tracer_ != nullptr) tracer_->emit_window(w);

@@ -14,6 +14,7 @@
 //     average_delay() exactly.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "telemetry/trace.hpp"
@@ -39,11 +40,30 @@ struct WindowProbe {
   unsigned th_rbl = 0;
 };
 
+/// Per-bank cumulative counters collected by the bank probe (same
+/// differencing discipline as WindowProbe, but pulled only at window close
+/// so the per-tick path stays allocation-free).
+struct BankProbe {
+  std::uint64_t activations = 0;
+  std::uint64_t column_accesses = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t stall_cycles = 0;  ///< DMS age-gate cycles accumulated by the bank.
+};
+
 class WindowSampler {
  public:
+  /// Fills `out` (pre-sized to the bank count) with cumulative per-bank
+  /// counters as of memory cycle `end`.
+  using BankProbeFn = std::function<void(Cycle end, std::vector<BankProbe>& out)>;
+
   /// `tracer` may be null (samples are then only kept in memory).
   WindowSampler(ChannelId channel, Cycle window, Tracer* tracer)
       : channel_(channel), window_(window), tracer_(tracer) {}
+
+  /// Attaches per-bank columns: each closed window additionally carries a
+  /// BankWindowSample per bank, differenced from `fn`'s cumulative counters.
+  /// The probe runs only at window close, never per tick.
+  void set_bank_probe(unsigned num_banks, BankProbeFn fn);
 
   /// Once per memory cycle, after the channel finished its work for `now`.
   void tick(Cycle now, const WindowProbe& probe);
@@ -63,6 +83,10 @@ class WindowSampler {
   Tracer* tracer_;
 
   std::vector<WindowSample> samples_;
+
+  BankProbeFn bank_probe_;
+  std::vector<BankProbe> bank_scratch_;  ///< Cumulative counters at window close.
+  std::vector<BankProbe> bank_base_;     ///< Cumulative counters at the last boundary.
 
   Cycle window_start_ = 0;
   Cycle last_tick_ = 0;

@@ -112,6 +112,53 @@ TEST(Histogram, Percentile) {
   EXPECT_EQ(h.percentile(7.0), h.max_key() + 1);  // Clamped.
 }
 
+TEST(Histogram, PercentileSingleSample) {
+  Histogram h(8);
+  h.add(5);
+  // With one sample every percentile is that sample, including p0 and p100.
+  EXPECT_EQ(h.percentile(0.0), 5u);
+  EXPECT_EQ(h.percentile(0.5), 5u);
+  EXPECT_EQ(h.percentile(1.0), 5u);
+}
+
+TEST(Histogram, PercentileAllMassInOverflow) {
+  Histogram h(8);
+  h.add(100, 7);  // Everything pools into the overflow bucket.
+  EXPECT_EQ(h.percentile(0.0), h.max_key() + 1);
+  EXPECT_EQ(h.percentile(0.5), h.max_key() + 1);
+  EXPECT_EQ(h.percentile(1.0), h.max_key() + 1);
+  // The overflow key is still legal input to at().
+  EXPECT_EQ(h.at(h.percentile(0.5)), 7u);
+}
+
+TEST(Histogram, PercentileP100IsMax) {
+  Histogram h(64);
+  h.add(3, 10);
+  h.add(17, 5);
+  h.add(42);
+  EXPECT_EQ(h.percentile(1.0), 42u);  // p100 == max observed key, exactly.
+}
+
+TEST(Histogram, PercentileNearestRankNoFloatSkew) {
+  // 0.07 * 100 = 7.000000000000001 in binary floating point; a naive
+  // ceil() would skip past the 7th sample. Regression for the nearest-rank
+  // epsilon fix.
+  Histogram h(128);
+  for (std::uint64_t k = 1; k <= 100; ++k) h.add(k);
+  EXPECT_EQ(h.percentile(0.07), 7u);
+  EXPECT_EQ(h.percentile(0.5), 50u);
+  EXPECT_EQ(h.percentile(0.99), 99u);
+}
+
+TEST(Histogram, PercentileDegenerateInputs) {
+  Histogram h(8);
+  h.add(2, 3);
+  h.add(6, 3);
+  // Out-of-range p clamps to the first/last sample instead of misbehaving.
+  EXPECT_EQ(h.percentile(-1.0), 2u);
+  EXPECT_EQ(h.percentile(7.0), 6u);
+}
+
 TEST(Histogram, ResetClearsEverything) {
   Histogram h(4);
   h.add(2, 5);

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Per-phase latency attribution from lazydram request-lifecycle traces.
+
+Usage: trace_summary.py [--check] TRACE [TRACE ...]
+
+Accepts both trace formats the simulator writes:
+  * JSONL (LAZYDRAM_TRACE_FORMAT=jsonl, the default): one JSON object per
+    line; request lifecycles are the {"type":"req",...} lines.
+  * Chrome Trace Event Format (LAZYDRAM_TRACE_FORMAT=chrome): a JSON array
+    of events; request lifecycles are the async "b"/"e" spans with
+    cat == "req".
+
+For each file (one file per run/scheme) it prints an attribution table:
+count, mean and p95 duration per lifecycle phase. Core-clock phases
+(icnt_request, partition_wait, reply_return) are reported in core cycles,
+memory-side phases in memory cycles for JSONL traces; chrome traces are
+entirely on the memory-cycle axis (1 mem cycle = 1 us).
+
+With --check nothing is printed on success; the files are instead validated
+(JSON parses; every async "b" has a matching "e"; spans nest as a stack with
+monotonic timestamps) and the exit status reports the result.
+
+Exit status: 0 = ok, 1 = validation/parse failure, 2 = bad invocation.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def percentile(values, p):
+    """Nearest-rank percentile (matches Histogram::percentile in C++)."""
+    if not values:
+        return 0.0
+    rank = max(1, min(len(values), math.ceil(p * len(values) - 1e-9)))
+    return sorted(values)[rank - 1]
+
+
+class TraceError(Exception):
+    pass
+
+
+def load_jsonl_phases(path):
+    """Phase durations from a JSONL trace's {"type":"req"} lines."""
+    phases = {}
+
+    def add(name, duration):
+        if duration < 0:
+            raise TraceError(f"negative {name} duration {duration}")
+        phases.setdefault(name, []).append(duration)
+
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise TraceError(f"line {lineno}: {e}") from e
+            if rec.get("type") != "req":
+                continue
+            gated = rec["gated"]
+            enq = rec["enq"]
+            # Core-side stamps are 0 when the trace came from a bare
+            # controller harness (no GPU front end) — skip those phases.
+            if rec["inject"] and rec["eject"]:
+                add("icnt_request", rec["eject"] - rec["inject"])
+            if rec["eject"] and rec["enq_core"]:
+                add("partition_wait", rec["enq_core"] - rec["eject"])
+            if rec["dropped"]:
+                add("drop_wait", rec["drop"] - enq - gated)
+                add("drop_gated", gated)
+                add("vp_serve", 0)
+                add("req", rec["drop"] - enq)
+            else:
+                add("queue_wait", rec["cas"] - enq - gated)
+                add("dms_gated", gated)
+                add("service", rec["done"] - rec["cas"])
+                add("req", rec["done"] - enq)
+            if rec["reply"] and rec["wakeup"]:
+                add("reply_return", rec["wakeup"] - rec["reply"])
+    return phases
+
+
+def load_chrome_phases(path):
+    """Phase durations from a chrome trace's async req spans, validating
+    b/e pairing and stack nesting along the way."""
+    with open(path) as f:
+        try:
+            events = json.load(f)
+        except json.JSONDecodeError as e:
+            raise TraceError(str(e)) from e
+    if not isinstance(events, list):
+        raise TraceError("top-level JSON value is not an array")
+
+    phases = {}
+    stacks = {}  # (pid, id) -> [(name, ts), ...]
+    for i, ev in enumerate(events):
+        if ev.get("cat") != "req" or ev.get("ph") not in ("b", "e"):
+            continue
+        key = (ev.get("pid"), ev.get("id"))
+        ts = ev["ts"]
+        stack = stacks.setdefault(key, [])
+        if ev["ph"] == "b":
+            if stack and ts < stack[-1][1]:
+                raise TraceError(
+                    f"event {i}: span '{ev.get('name')}' begins at {ts} before "
+                    f"its parent '{stack[-1][0]}' began at {stack[-1][1]}")
+            stack.append((ev["name"], ts))
+        else:
+            if not stack:
+                raise TraceError(f"event {i}: 'e' for req id {key[1]} with no open span")
+            name, begin = stack.pop()
+            if ts < begin:
+                raise TraceError(
+                    f"event {i}: span '{name}' ends at {ts} before it began at {begin}")
+            phases.setdefault(name, []).append(ts - begin)
+    dangling = {k: s for k, s in stacks.items() if s}
+    if dangling:
+        key, stack = next(iter(dangling.items()))
+        raise TraceError(
+            f"{sum(len(s) for s in dangling.values())} unclosed span(s); "
+            f"e.g. req id {key[1]} still has '{stack[-1][0]}' open")
+    return phases
+
+
+# Fixed display order: end-to-end first, then the served path in pipeline
+# order, then the dropped path, so tables from different runs line up.
+PHASE_ORDER = [
+    "req", "icnt_request", "partition_wait", "queue_wait", "dms_gated",
+    "service", "reply_return", "drop_wait", "drop_gated", "vp_serve",
+]
+
+
+def print_table(label, phases):
+    total = len(phases.get("req", []))
+    print(f"\n{label}: {total} sampled request(s)")
+    print(f"{'phase':<16} {'count':>8} {'mean':>12} {'p95':>10}")
+    names = [p for p in PHASE_ORDER if p in phases]
+    names += sorted(set(phases) - set(names))
+    for name in names:
+        vals = phases[name]
+        mean = sum(vals) / len(vals)
+        print(f"{name:<16} {len(vals):>8} {mean:>12.2f} {percentile(vals, 0.95):>10.0f}")
+
+
+def looks_like_chrome(path):
+    with open(path) as f:
+        head = f.read(64).lstrip()
+    return head.startswith("[")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", help="trace files (JSONL or chrome)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate only; print nothing on success")
+    args = ap.parse_args()
+
+    failed = False
+    for path in args.traces:
+        p = Path(path)
+        try:
+            if looks_like_chrome(p):
+                phases = load_chrome_phases(p)
+            else:
+                phases = load_jsonl_phases(p)
+        except (OSError, TraceError, KeyError, TypeError) as e:
+            print(f"trace_summary: {path}: {e}", file=sys.stderr)
+            failed = True
+            continue
+        if args.check:
+            if not phases:
+                print(f"trace_summary: {path}: no request lifecycles found",
+                      file=sys.stderr)
+                failed = True
+        else:
+            print_table(p.stem, phases)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
