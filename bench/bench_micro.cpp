@@ -149,6 +149,12 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles,
     if (std::string_view(fast) == "off" || std::string_view(fast) == "0")
       cfg.fast_path = false;
   }
+  // Same discipline for the power accountant: `LAZYDRAM_POWER=off
+  // bench_micro --perf` measures the accounting-free hot path.
+  if (const char* power = std::getenv("LAZYDRAM_POWER"); power != nullptr) {
+    if (std::string_view(power) == "off" || std::string_view(power) == "0")
+      cfg.power_accounting = false;
+  }
   AddressMapper mapper(cfg);
   core::SchemeSpec spec = core::make_scheme_spec(kind, cfg.scheme);
   auto sched = std::make_unique<core::LazyScheduler>(cfg.scheme, spec,

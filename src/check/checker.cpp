@@ -124,6 +124,7 @@ void ProtocolChecker::check_activate(ShadowBank& b, BankId bank, RowId row, Cycl
            fmt("ACT opened row %" PRIu64 " with no pending request for it", row));
 
   b.open_row = row;
+  b.open_since = now;
   b.cas_after_rcd = std::max(b.cas_after_rcd, now + t_.tRCD);
   b.pre_after_ras = std::max(b.pre_after_ras, now + t_.tRAS);
   b.act_after_rc = std::max(b.act_after_rc, now + t_.tRC);
@@ -154,8 +155,15 @@ void ProtocolChecker::check_precharge(ShadowBank& b, BankId bank, Cycle now,
              fmt("PRE closed row %" PRIu64 " with request %" PRIu64 " pending for it",
                  b.open_row, queue.oldest_for_row(bank, b.open_row)->id));
   }
+  if (b.open_row != kInvalidRow) b.active_cycles += now - b.open_since;
   b.open_row = kInvalidRow;
   b.act_after_rp = std::max(b.act_after_rp, now + t_.tRP);
+}
+
+std::uint64_t ProtocolChecker::shadow_active_cycles(BankId bank, Cycle end) const {
+  const ShadowBank& b = banks_[bank];
+  if (b.open_row == kInvalidRow) return b.active_cycles;
+  return b.active_cycles + (end - b.open_since);
 }
 
 void ProtocolChecker::check_cas(ShadowBank& b, dram::CommandKind kind, BankId bank,

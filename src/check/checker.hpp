@@ -118,12 +118,21 @@ class ProtocolChecker {
   const CheckerOptions& options() const { return opts_; }
   ChannelId channel() const { return channel_; }
 
+  /// Active-state residency of `bank` as of cycle `end`, derived purely from
+  /// the checker's shadow open/close transitions. An independent witness for
+  /// the power accountant's residencies: the two track the same command
+  /// stream through disjoint state machines, so tests can cross-check them
+  /// (see PowerAccounting.ResidenciesMatchCheckerShadow).
+  std::uint64_t shadow_active_cycles(BankId bank, Cycle end) const;
+
  private:
   /// Shadow per-bank timing ledger, split per constraint so a violation can
   /// name the exact rule it broke. Update rules mirror dram::Bank exactly
   /// (running max semantics included).
   struct ShadowBank {
     RowId open_row = kInvalidRow;
+    Cycle open_since = 0;               ///< ACT cycle of the current open row.
+    std::uint64_t active_cycles = 0;    ///< Closed open-row residency.
     Cycle act_after_rc = 0;    ///< Last ACT + tRC.
     Cycle act_after_rp = 0;    ///< Last PRE + tRP.
     Cycle pre_after_ras = 0;   ///< Last ACT + tRAS.

@@ -14,6 +14,7 @@
 // (the BWUTIL numerator used by Dyn-DMS).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/config.hpp"
@@ -21,7 +22,7 @@
 #include "common/types.hpp"
 #include "dram/address.hpp"
 #include "dram/bank.hpp"
-#include "dram/energy.hpp"
+#include "dram/power.hpp"
 
 namespace lazydram::dram {
 
@@ -47,7 +48,9 @@ class DramChannel {
   Cycle earliest_issue(CommandKind kind, BankId bank) const;
 
   /// Executes the command. For kRead/kWrite returns the cycle the data burst
-  /// completes; for kActivate/kPrecharge returns `now`.
+  /// completes; for kActivate/kPrecharge returns `now`. `now` must be
+  /// non-decreasing across calls (the controller issues in cycle order; the
+  /// power accountant's channel aggregate relies on it).
   Cycle issue(CommandKind kind, BankId bank, RowId row, Cycle now);
 
   const Bank& bank(BankId b) const { return banks_[b]; }
@@ -56,11 +59,22 @@ class DramChannel {
   /// Flushes all still-open rows into the RBL accounting (end of run).
   void flush_open_rows();
 
+  /// Ends power accounting at cycle `end` (one past the last simulated
+  /// memory cycle): closes residencies, asserts the residency-partition
+  /// identity and reconciles the accountant against the EnergyMeter oracle.
+  /// No-op when accounting is disabled. Call at most once, after
+  /// flush_open_rows() (flushed rows close at `end`, not earlier — flush()
+  /// issues no PRE).
+  void finalize_power(Cycle end);
+
   // --- Measurement ---
   std::uint64_t activations() const { return energy_.activations(); }
   const Histogram& rbl_histogram() const { return rbl_all_; }
   const Histogram& rbl_readonly_histogram() const { return rbl_readonly_; }
   const EnergyMeter& energy() const { return energy_; }
+  /// The state-residency accountant, or nullptr when GpuConfig::
+  /// power_accounting is off.
+  const PowerAccountant* power() const { return power_.get(); }
   std::uint64_t column_accesses() const {
     return energy_.read_accesses() + energy_.write_accesses();
   }
@@ -84,6 +98,7 @@ class DramChannel {
   bool last_burst_was_write_ = false;
 
   EnergyMeter energy_;
+  std::unique_ptr<PowerAccountant> power_;  ///< Null when accounting is off.
   Histogram rbl_all_{64};
   Histogram rbl_readonly_{64};
   std::uint64_t bus_busy_cycles_ = 0;

@@ -1,0 +1,156 @@
+#include "dram/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lazydram::dram {
+
+namespace {
+/// Relative tolerance of the accountant-vs-oracle reconciliation. The two
+/// sides compute the same products in different association orders, so only
+/// rounding separates them.
+constexpr double kRelTol = 1e-9;
+
+bool close_rel(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= kRelTol * scale;
+}
+}  // namespace
+
+PowerAccountant::PowerAccountant(const EnergyParams& params, unsigned num_banks)
+    : p_(params), banks_(num_banks) {
+  LD_ASSERT(num_banks > 0);
+}
+
+void PowerAccountant::on_activate(BankId bank, Cycle now) {
+  LD_ASSERT(bank < banks_.size());
+  LD_ASSERT(!finalized_);
+  BankState& b = banks_[bank];
+  LD_ASSERT_MSG(!b.active, "ACT on a bank that already has an open row");
+  LD_ASSERT(now >= b.since && now >= agg_since_);
+  b.precharge_cycles += now - b.since;
+  b.since = now;
+  b.active = true;
+  ++b.acts;
+  ++chan_acts_;
+  // Close the channel aggregate's open segment at `now`, then admit the bank.
+  agg_active_cycles_ += static_cast<std::uint64_t>(active_banks_) * (now - agg_since_);
+  agg_since_ = now;
+  ++active_banks_;
+}
+
+void PowerAccountant::on_precharge(BankId bank, Cycle now) {
+  LD_ASSERT(bank < banks_.size());
+  LD_ASSERT(!finalized_);
+  BankState& b = banks_[bank];
+  LD_ASSERT_MSG(b.active, "PRE on a bank with no open row");
+  LD_ASSERT(now >= b.since && now >= agg_since_);
+  b.active_cycles += now - b.since;
+  b.since = now;
+  b.active = false;
+  agg_active_cycles_ += static_cast<std::uint64_t>(active_banks_) * (now - agg_since_);
+  agg_since_ = now;
+  LD_ASSERT(active_banks_ > 0);
+  --active_banks_;
+}
+
+void PowerAccountant::finalize(Cycle end) {
+  LD_ASSERT_MSG(!finalized_, "PowerAccountant finalized twice");
+  LD_ASSERT(end >= agg_since_);
+  agg_active_cycles_ += static_cast<std::uint64_t>(active_banks_) * (end - agg_since_);
+  agg_since_ = end;
+
+  std::uint64_t active_sum = 0;
+  for (BankState& b : banks_) {
+    LD_ASSERT(end >= b.since);
+    if (b.active)
+      b.active_cycles += end - b.since;
+    else
+      b.precharge_cycles += end - b.since;
+    b.since = end;
+    // Residency identity: the two states partition the bank's elapsed
+    // cycles exactly (integer identity, no tolerance).
+    LD_ASSERT_MSG(b.active_cycles + b.precharge_cycles == end,
+                  "bank residencies do not partition elapsed cycles");
+    active_sum += b.active_cycles;
+  }
+  LD_ASSERT_MSG(active_sum == agg_active_cycles_,
+                "channel active-cycle aggregate diverged from per-bank sums");
+
+  end_ = end;
+  finalized_ = true;
+}
+
+void PowerAccountant::verify_against(const EnergyMeter& meter) const {
+  LD_ASSERT(finalized_);
+  // Event counts must agree exactly — both sides count issued commands.
+  LD_ASSERT_MSG(chan_acts_ == meter.activations(),
+                "accountant ACT count disagrees with EnergyMeter");
+  LD_ASSERT_MSG(chan_reads_ == meter.read_accesses(),
+                "accountant RD count disagrees with EnergyMeter");
+  LD_ASSERT_MSG(chan_writes_ == meter.write_accesses(),
+                "accountant WR count disagrees with EnergyMeter");
+  // Derived energies reconcile to 1e-9 relative (identical arithmetic, but
+  // per-bank sums may round differently from the single channel product).
+  const PowerBreakdown e = channel_energy(end_);
+  LD_ASSERT_MSG(close_rel(e.row_nj, meter.row_energy_nj()),
+                "accountant row energy diverged from EnergyMeter");
+  LD_ASSERT_MSG(close_rel(e.access_nj, meter.access_energy_nj()),
+                "accountant access energy diverged from EnergyMeter");
+  PowerBreakdown bank_sum;
+  for (unsigned b = 0; b < num_banks(); ++b) bank_sum += bank_energy(b, end_);
+  LD_ASSERT_MSG(close_rel(bank_sum.total_nj(), e.total_nj()),
+                "per-bank energies do not sum to the channel total");
+}
+
+std::uint64_t PowerAccountant::bank_active_cycles(BankId bank, Cycle now) const {
+  LD_ASSERT(bank < banks_.size());
+  const BankState& b = banks_[bank];
+  LD_ASSERT(now >= b.since);
+  return b.active_cycles + (b.active ? now - b.since : 0);
+}
+
+std::uint64_t PowerAccountant::bank_precharge_cycles(BankId bank, Cycle now) const {
+  LD_ASSERT(bank < banks_.size());
+  const BankState& b = banks_[bank];
+  LD_ASSERT(now >= b.since);
+  return b.precharge_cycles + (b.active ? 0 : now - b.since);
+}
+
+std::uint64_t PowerAccountant::channel_active_cycles(Cycle now) const {
+  LD_ASSERT(now >= agg_since_);
+  return agg_active_cycles_ +
+         static_cast<std::uint64_t>(active_banks_) * (now - agg_since_);
+}
+
+PowerBreakdown PowerAccountant::bank_energy(BankId bank, Cycle now) const {
+  const BankState& b = banks_[bank];
+  PowerBreakdown e;
+  e.row_nj = static_cast<double>(b.acts) * p_.row_energy_per_act_nj();
+  e.access_nj = static_cast<double>(b.reads) * p_.rd_access_nj +
+                static_cast<double>(b.writes) * p_.wr_access_nj;
+  e.background_nj =
+      static_cast<double>(bank_active_cycles(bank, now)) * p_.act_stby_nj_per_cycle +
+      static_cast<double>(bank_precharge_cycles(bank, now)) * p_.pre_stby_nj_per_cycle;
+  e.refresh_nj = static_cast<double>(refresh_events(now)) * p_.ref_per_bank_nj;
+  return e;
+}
+
+PowerBreakdown PowerAccountant::channel_energy(Cycle now) const {
+  PowerBreakdown e;
+  e.row_nj = static_cast<double>(chan_acts_) * p_.row_energy_per_act_nj();
+  e.access_nj = static_cast<double>(chan_reads_) * p_.rd_access_nj +
+                static_cast<double>(chan_writes_) * p_.wr_access_nj;
+  const std::uint64_t active = channel_active_cycles(now);
+  const std::uint64_t total = static_cast<std::uint64_t>(banks_.size()) * now;
+  LD_ASSERT(active <= total);
+  e.background_nj = static_cast<double>(active) * p_.act_stby_nj_per_cycle +
+                    static_cast<double>(total - active) * p_.pre_stby_nj_per_cycle;
+  e.refresh_nj = static_cast<double>(refresh_events(now)) *
+                 static_cast<double>(banks_.size()) * p_.ref_per_bank_nj;
+  return e;
+}
+
+}  // namespace lazydram::dram

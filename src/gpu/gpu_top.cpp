@@ -313,6 +313,21 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
     hub.add_histogram(channel_stat("dram", ch, "rbl_readonly"),
                       &dc->rbl_readonly_histogram());
 
+    if (const dram::PowerAccountant* pw = dc->power()) {
+      // State-based accounting extras; absent when power_accounting is off
+      // (collect_metrics probes with has_gauge and degrades to row+access).
+      hub.add_gauge(channel_stat("dram", ch, "background_energy_nj"),
+                    [pw] { return pw->channel_energy().background_nj; });
+      hub.add_gauge(channel_stat("dram", ch, "refresh_energy_nj"),
+                    [pw] { return pw->channel_energy().refresh_nj; });
+      hub.add_counter(channel_stat("dram", ch, "active_bank_cycles"),
+                      [pw] { return pw->channel_active_cycles(); });
+      for (unsigned b = 0; b < pw->num_banks(); ++b)
+        hub.add_gauge(
+            channel_stat("dram", ch, "bank" + std::to_string(b) + ".energy_nj"),
+            [pw, b] { return pw->bank_energy(b).total_nj(); });
+    }
+
     const cache::Cache* l2 = &partitions_[ch].l2;
     hub.add_counter(channel_stat("cache.l2", ch, "hits"), [l2] { return l2->hits(); });
     hub.add_counter(channel_stat("cache.l2", ch, "misses"), [l2] { return l2->misses(); });

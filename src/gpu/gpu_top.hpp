@@ -85,6 +85,7 @@ class GpuTop {
   const AddressMapper& mapper() const { return mapper_; }
   const Sm& sm(SmId id) const { return *sms_[id]; }
   unsigned num_sms() const { return static_cast<unsigned>(sms_.size()); }
+  const GpuConfig& config() const { return cfg_; }
 
   /// Registers every component's counters/gauges/histograms into `hub`
   /// under hierarchical names ("dram.ch0.activations", "core.ch1.dms.delay",

@@ -22,6 +22,7 @@ MemoryController::MemoryController(const GpuConfig& cfg, ChannelId id,
       dram_(cfg, id),
       scheduler_(std::move(scheduler)),
       num_banks_(cfg.banks_per_channel),
+      watts_per_nj_per_cycle_(static_cast<double>(cfg.mem_clock_mhz) * 1e-3),
       fast_path_(cfg.fast_path),
       bank_retry_at_(cfg.banks_per_channel, 0),
       bank_none_until_(cfg.banks_per_channel, 0),
@@ -232,6 +233,7 @@ void MemoryController::issue_one_command(Cycle now) {
 }
 
 void MemoryController::tick(Cycle now_mem) {
+  end_mem_ = now_mem + 1;
   // Nothing in `inflight_` can retire before the tracked minimum done-cycle,
   // so until then the completion scan is a provable no-op (ungated by
   // fast_path_: bit-exact by construction).
@@ -346,7 +348,7 @@ void MemoryController::tick(Cycle now_mem) {
   // The sampler observes the cycle last, so its probe reflects everything
   // issued up to and including `now_mem`. Read-only: cannot perturb the run.
   if (sampler_ != nullptr) {
-    fill_channel_counters(probe);
+    fill_channel_counters(probe, now_mem);
     sampler_->tick(now_mem, probe);
   }
 }
@@ -366,40 +368,62 @@ void MemoryController::inject_command_for_test(dram::CommandKind kind, BankId ba
 
 void MemoryController::finalize() {
   dram_.flush_open_rows();
-  if (sampler_ != nullptr) sampler_->flush(telemetry_probe());
+  // The run ends one past the last ticked cycle — the same boundary the
+  // sampler's flush closes its final window at (last_tick_ + 1).
+  dram_.finalize_power(end_mem_);
+  if (sampler_ != nullptr) sampler_->flush(telemetry_probe(end_mem_));
 }
 
 void MemoryController::enable_window_sampling(Cycle window, telemetry::Tracer* tracer) {
   sampler_ = std::make_unique<telemetry::WindowSampler>(id_, window, tracer);
+  sampler_->set_power_scale(watts_per_nj_per_cycle_);
   scheduler_->enable_bank_stall_tracking();
   stall_scratch_.assign(num_banks_, 0);
   sampler_->set_bank_probe(
       num_banks_, [this](Cycle end, std::vector<telemetry::BankProbe>& out) {
         std::fill(stall_scratch_.begin(), stall_scratch_.end(), std::uint64_t{0});
         scheduler_->harvest_bank_stalls(end, stall_scratch_);
+        const dram::PowerAccountant* pw = dram_.power();
         for (unsigned b = 0; b < num_banks_; ++b) {
           out[b].activations = bank_acts_[b];
           out[b].column_accesses = bank_cols_[b];
           out[b].drops = bank_drops_[b];
           out[b].stall_cycles = stall_scratch_[b];
+          if (pw != nullptr) {
+            out[b].active_cycles = pw->bank_active_cycles(b, end);
+            out[b].energy_nj = pw->bank_energy(b, end).total_nj();
+          }
         }
       });
 }
 
-void MemoryController::fill_channel_counters(telemetry::WindowProbe& p) const {
+void MemoryController::fill_channel_counters(telemetry::WindowProbe& p,
+                                             Cycle now) const {
   p.bus_busy_cycles = dram_.bus_busy_cycles();
   p.activations = dram_.activations();
   p.column_reads = dram_.energy().read_accesses();
   p.column_writes = dram_.energy().write_accesses();
   p.reads_dropped = reads_dropped_;
   p.reads_received = reads_received_;
-  p.energy_nj = dram_.energy().total_energy_nj();
+  if (const dram::PowerAccountant* pw = dram_.power()) {
+    // O(1): channel_energy never loops over banks.
+    const dram::PowerBreakdown e = pw->channel_energy(now);
+    p.energy_row_nj = e.row_nj;
+    p.energy_access_nj = e.access_nj;
+    p.energy_background_nj = e.background_nj;
+    p.energy_refresh_nj = e.refresh_nj;
+    p.energy_nj = e.total_nj();
+  } else {
+    p.energy_row_nj = dram_.energy().row_energy_nj();
+    p.energy_access_nj = dram_.energy().access_energy_nj();
+    p.energy_nj = dram_.energy().total_energy_nj();
+  }
   p.queue_size = queue_.size();
 }
 
-telemetry::WindowProbe MemoryController::telemetry_probe() const {
+telemetry::WindowProbe MemoryController::telemetry_probe(Cycle now) const {
   telemetry::WindowProbe p;
-  fill_channel_counters(p);
+  fill_channel_counters(p, now);
   scheduler_->fill_probe(p);
   return p;
 }

@@ -104,8 +104,10 @@ class MemoryController {
   /// The window series recorded so far, or nullptr when sampling is off.
   const telemetry::WindowSampler* sampler() const { return sampler_.get(); }
 
-  /// Snapshot of this channel's cumulative counters + policy gauges.
-  telemetry::WindowProbe telemetry_probe() const;
+  /// Snapshot of this channel's cumulative counters + policy gauges as of
+  /// memory cycle `now` (only the power accountant's background-energy terms
+  /// depend on it; pass the current cycle).
+  telemetry::WindowProbe telemetry_probe(Cycle now) const;
 
   // --- Verification (optional observers; null costs one check per event) ---
 
@@ -144,7 +146,7 @@ class MemoryController {
 
   /// Cumulative channel counters shared by telemetry_probe() and the
   /// once-per-tick probe in tick(). Policy gauges are filled separately.
-  void fill_channel_counters(telemetry::WindowProbe& p) const;
+  void fill_channel_counters(telemetry::WindowProbe& p, Cycle now) const;
 
   ChannelId id_;
   const AddressMapper& mapper_;
@@ -162,6 +164,11 @@ class MemoryController {
   /// row-group drains on different banks interleave fairly.
   unsigned drop_rr_bank_ = 0;
   unsigned num_banks_;
+  /// One past the last ticked memory cycle; the power accountant and the
+  /// sampler's final window both close here at finalize().
+  Cycle end_mem_ = 0;
+  /// nJ-per-cycle -> watts conversion (mem_clock_mhz * 1e-3).
+  double watts_per_nj_per_cycle_;
   /// Schedulability fast paths enabled (GpuConfig::fast_path).
   bool fast_path_;
   /// Cached Scheduler::drops_possible(): non-AMS schemes never run the drop

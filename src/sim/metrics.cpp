@@ -50,6 +50,21 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
     m.access_energy_nj += hub.gauge(channel_stat("dram", ch, "access_energy_nj"));
     bus_busy += hub.counter(channel_stat("dram", ch, "bus_busy_cycles"));
 
+    const std::string bg_stat = channel_stat("dram", ch, "background_energy_nj");
+    if (hub.has_gauge(bg_stat)) {
+      m.background_energy_nj += hub.gauge(bg_stat);
+      m.refresh_energy_nj += hub.gauge(channel_stat("dram", ch, "refresh_energy_nj"));
+      // Per-bank energies fold across channels (bank b of every channel
+      // into entry b), matching the per-bank window heatmap's axis.
+      for (unsigned b = 0;; ++b) {
+        const std::string bank_stat =
+            channel_stat("dram", ch, "bank" + std::to_string(b) + ".energy_nj");
+        if (!hub.has_gauge(bank_stat)) break;
+        if (m.bank_energy_nj.size() <= b) m.bank_energy_nj.resize(b + 1, 0.0);
+        m.bank_energy_nj[b] += hub.gauge(bank_stat);
+      }
+    }
+
     const Histogram& h = hub.histogram(channel_stat("dram", ch, "rbl"));
     for (std::uint64_t k = 0; k < h.bucket_count(); ++k) m.rbl_hist.add(k, h.at(k));
     const Histogram& hr = hub.histogram(channel_stat("dram", ch, "rbl_readonly"));
@@ -76,7 +91,13 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
     }
   }
 
-  m.total_energy_nj = m.row_energy_nj + m.access_energy_nj;
+  m.total_energy_nj = m.row_energy_nj + m.access_energy_nj +
+                      m.background_energy_nj + m.refresh_energy_nj;
+  if (m.background_energy_nj > 0.0 && m.total_energy_nj > 0.0)
+    m.measured_row_share = m.row_energy_nj / m.total_energy_nj;
+  if (m.background_energy_nj > 0.0 && m.mem_cycles > 0)
+    m.avg_power_w = m.total_energy_nj / static_cast<double>(m.mem_cycles) *
+                    static_cast<double>(gpu.config().mem_clock_mhz) * 1e-3;
   const std::uint64_t accesses = m.dram_reads + m.dram_writes;
   m.avg_rbl = m.activations == 0
                   ? 0.0

@@ -23,7 +23,17 @@ void write_metrics_section(telemetry::JsonWriter& w, const RunMetrics& m) {
   w.field("avg_rbl", m.avg_rbl);
   w.field("row_energy_nj", m.row_energy_nj);
   w.field("access_energy_nj", m.access_energy_nj);
+  w.field("background_energy_nj", m.background_energy_nj);
+  w.field("refresh_energy_nj", m.refresh_energy_nj);
   w.field("total_energy_nj", m.total_energy_nj);
+  w.field("measured_row_share", m.measured_row_share);
+  w.field("avg_power_w", m.avg_power_w);
+  if (!m.bank_energy_nj.empty()) {
+    w.key("bank_energy_nj");
+    w.begin_array();
+    for (const double e : m.bank_energy_nj) w.value(e);
+    w.end_array();
+  }
   w.field("coverage", m.coverage);
   w.field("app_error", m.app_error);
   w.field("avg_delay", m.avg_delay);
@@ -63,6 +73,11 @@ void write_window(telemetry::JsonWriter& w, const telemetry::WindowSample& s) {
   w.field("reads_received", s.reads_received);
   w.field("coverage", s.coverage);
   w.field("energy_nj", s.energy_nj);
+  w.field("e_row", s.energy_row_nj);
+  w.field("e_access", s.energy_access_nj);
+  w.field("e_bg", s.energy_background_nj);
+  w.field("e_ref", s.energy_refresh_nj);
+  w.field("power_w", s.avg_power_w);
   if (!s.banks.empty()) {
     w.key("banks");
     w.begin_array();
@@ -73,6 +88,8 @@ void write_window(telemetry::JsonWriter& w, const telemetry::WindowSample& s) {
       w.field("row_hits", b.row_hits);
       w.field("drops", b.drops);
       w.field("stall", b.dms_stall_cycles);
+      w.field("active", b.active_cycles);
+      w.field("energy_nj", b.energy_nj);
       w.end_object();
     }
     w.end_array();

@@ -39,6 +39,19 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
                fast.c_str());
   }
 
+  // A/B knob for the state-based power accountant (default on). Strictly
+  // passive — results are bit-identical either way; off removes the energy
+  // breakdown from every output and the O(1)-per-command bookkeeping.
+  if (const std::string pw = telemetry::env_string("LAZYDRAM_POWER"); !pw.empty()) {
+    if (pw == "off" || pw == "0")
+      cfg.power_accounting = false;
+    else if (pw == "on" || pw == "1")
+      cfg.power_accounting = true;
+    else
+      log_warn("LAZYDRAM_POWER='%s' not recognized (want on|off|1|0); ignored",
+               pw.c_str());
+  }
+
   gpu::GpuTop::SchedulerFactory factory;
   std::string label = config.scheme_label;
   switch (config.policy) {

@@ -103,7 +103,34 @@ void ChromeTraceSink::on_window(const WindowSample& w) {
   raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"drops\","
       "\"args\":{\"drops\":%" PRIu64 "}}",
       w.channel, ts, w.drops);
+  // Power timeline: the window's average power in watts (one series per
+  // energy component, scaled from the per-window energies so the stack sums
+  // to the total), plus a cumulative per-component energy track. The
+  // cumulative track is monotone non-decreasing by construction — the
+  // property tools/trace_summary.py --check validates.
+  const double per_w = w.energy_nj > 0.0 ? w.avg_power_w / w.energy_nj : 0.0;
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"power\","
+      "\"args\":{\"row\":%.6g,\"access\":%.6g,\"background\":%.6g,\"refresh\":%.6g}}",
+      w.channel, ts, w.energy_row_nj * per_w, w.energy_access_nj * per_w,
+      w.energy_background_nj * per_w, w.energy_refresh_nj * per_w);
+  if (w.channel >= energy_cum_.size()) energy_cum_.resize(w.channel + 1, {});
+  EnergyCum& cum = energy_cum_[w.channel];
+  cum.row += w.energy_row_nj;
+  cum.access += w.energy_access_nj;
+  cum.background += w.energy_background_nj;
+  cum.refresh += w.energy_refresh_nj;
+  raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"energy\","
+      "\"args\":{\"row\":%.10g,\"access\":%.10g,\"background\":%.10g,\"refresh\":%.10g}}",
+      w.channel, ts, cum.row, cum.access, cum.background, cum.refresh);
   if (w.banks.empty()) return;
+  // Stacked per-bank energy (nJ spent this window, all components).
+  if (!first_) std::fputs(",\n", out_);
+  first_ = false;
+  std::fprintf(out_, "{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"bank.energy\",\"args\":{",
+               w.channel, ts);
+  for (std::size_t b = 0; b < w.banks.size(); ++b)
+    std::fprintf(out_, "%s\"b%zu\":%.6g", b == 0 ? "" : ",", b, w.banks[b].energy_nj);
+  std::fputs("}}", out_);
   // Stacked per-bank series: one counter track per metric, one series per
   // bank, so Perfetto renders the (window, bank) heatmap directly.
   struct Series {

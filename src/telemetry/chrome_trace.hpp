@@ -9,9 +9,11 @@
 //    (icnt_request / partition_wait / queue_wait incl. dms_gated gates /
 //    service or vp_serve / reply_return).
 //  * WindowSampler windows become counter tracks (ph "C"): per-channel
-//    queue depth, BWUTIL, DMS delay, Th_RBL, drops — plus stacked per-bank
-//    series (bank.act, bank.row_hits, bank.stall, bank.drops) when the
-//    sampler carries bank columns.
+//    queue depth, BWUTIL, DMS delay, Th_RBL, drops, a "power" track (average
+//    watts per window, stacked by energy component) and a cumulative
+//    "energy" track (nJ by component; monotone non-decreasing) — plus
+//    stacked per-bank series (bank.act, bank.row_hits, bank.stall,
+//    bank.drops, bank.energy) when the sampler carries bank columns.
 //  * Low-rate control events (DMS delay change, Th_RBL change, checker
 //    violations) become instants (ph "i"). High-rate per-command events
 //    (ACT / drop / VP / stall) are skipped: windows and spans already carry
@@ -59,6 +61,15 @@ class ChromeTraceSink : public TraceSink {
   bool first_ = true;
   double core_to_mem_;
   std::vector<bool> process_named_;
+  /// Running per-channel energy totals feeding the cumulative "energy"
+  /// counter track (monotone non-decreasing; validated by trace_summary).
+  struct EnergyCum {
+    double row = 0.0;
+    double access = 0.0;
+    double background = 0.0;
+    double refresh = 0.0;
+  };
+  std::vector<EnergyCum> energy_cum_;
 };
 
 }  // namespace lazydram::telemetry

@@ -101,20 +101,24 @@ void JsonlTraceSink::on_window(const WindowSample& w) {
                ",\"th_rbl_sum\":%" PRIu64 ",\"th_rbl\":%.17g,\"queue\":%.17g"
                ",\"act\":%" PRIu64 ",\"row_hits\":%" PRIu64 ",\"reads\":%" PRIu64
                ",\"writes\":%" PRIu64 ",\"drops\":%" PRIu64 ",\"reads_received\":%" PRIu64
-               ",\"coverage\":%.17g,\"energy_nj\":%.17g",
+               ",\"coverage\":%.17g,\"energy_nj\":%.17g,\"e_row\":%.17g"
+               ",\"e_access\":%.17g,\"e_bg\":%.17g,\"e_ref\":%.17g,\"power_w\":%.17g",
                w.channel, w.index, w.start_cycle, w.end_cycle, w.ticks, w.bus_busy_cycles,
                w.bwutil, w.delay_sum, w.avg_delay, w.th_rbl_sum, w.avg_th_rbl,
                w.queue_occupancy, w.activations, w.row_hits, w.column_reads,
-               w.column_writes, w.drops, w.reads_received, w.coverage, w.energy_nj);
+               w.column_writes, w.drops, w.reads_received, w.coverage, w.energy_nj,
+               w.energy_row_nj, w.energy_access_nj, w.energy_background_nj,
+               w.energy_refresh_nj, w.avg_power_w);
   if (!w.banks.empty()) {
     std::fputs(",\"banks\":[", out_);
     for (std::size_t b = 0; b < w.banks.size(); ++b) {
       const BankWindowSample& bk = w.banks[b];
       std::fprintf(out_,
                    "%s{\"act\":%" PRIu64 ",\"cols\":%" PRIu64 ",\"row_hits\":%" PRIu64
-                   ",\"drops\":%" PRIu64 ",\"stall\":%" PRIu64 "}",
+                   ",\"drops\":%" PRIu64 ",\"stall\":%" PRIu64
+                   ",\"active\":%" PRIu64 ",\"energy_nj\":%.17g}",
                    b == 0 ? "" : ",", bk.activations, bk.column_accesses, bk.row_hits,
-                   bk.drops, bk.dms_stall_cycles);
+                   bk.drops, bk.dms_stall_cycles, bk.active_cycles, bk.energy_nj);
     }
     std::fputc(']', out_);
   }

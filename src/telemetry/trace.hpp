@@ -106,6 +106,8 @@ struct BankWindowSample {
   std::uint64_t row_hits = 0;  ///< column_accesses beyond each activation's first.
   std::uint64_t drops = 0;
   std::uint64_t dms_stall_cycles = 0;  ///< Cycles the bank's candidate sat age-gated.
+  std::uint64_t active_cycles = 0;  ///< Cycles a row was open (power accountant).
+  double energy_nj = 0.0;           ///< Total bank energy this window, all components.
 };
 
 /// One closed profiling window of a channel (see WindowSampler). Counters
@@ -135,7 +137,16 @@ struct WindowSample {
   std::uint64_t drops = 0;
   std::uint64_t reads_received = 0;
   double coverage = 0.0;        ///< drops / reads_received within the window.
-  double energy_nj = 0.0;       ///< Row + access energy spent this window.
+
+  /// Total DRAM energy spent this window. With the power accountant on this
+  /// is the state-based total and the four components below decompose it;
+  /// with accounting off it is row + access and background/refresh are zero.
+  double energy_nj = 0.0;
+  double energy_row_nj = 0.0;
+  double energy_access_nj = 0.0;
+  double energy_background_nj = 0.0;
+  double energy_refresh_nj = 0.0;
+  double avg_power_w = 0.0;  ///< energy_nj / ticks, converted to watts.
 
   /// Per-bank columns; empty unless a bank probe was attached to the sampler.
   std::vector<BankWindowSample> banks;

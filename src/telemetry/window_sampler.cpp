@@ -42,6 +42,10 @@ void WindowSampler::close_window(Cycle end, const WindowProbe& probe) {
   w.drops = probe.reads_dropped - base.reads_dropped;
   w.reads_received = probe.reads_received - base.reads_received;
   w.energy_nj = probe.energy_nj - base.energy_nj;
+  w.energy_row_nj = probe.energy_row_nj - base.energy_row_nj;
+  w.energy_access_nj = probe.energy_access_nj - base.energy_access_nj;
+  w.energy_background_nj = probe.energy_background_nj - base.energy_background_nj;
+  w.energy_refresh_nj = probe.energy_refresh_nj - base.energy_refresh_nj;
 
   const std::uint64_t accesses = w.column_reads + w.column_writes;
   // Every activation serves at least its first column access; the remainder
@@ -58,6 +62,7 @@ void WindowSampler::close_window(Cycle end, const WindowProbe& probe) {
   w.coverage = w.reads_received == 0
                    ? 0.0
                    : static_cast<double>(w.drops) / static_cast<double>(w.reads_received);
+  w.avg_power_w = w.energy_nj / ticks * power_scale_;
 
   if (bank_probe_) {
     for (auto& b : bank_scratch_) b = BankProbe{};
@@ -71,6 +76,8 @@ void WindowSampler::close_window(Cycle end, const WindowProbe& probe) {
       out.column_accesses = cur.column_accesses - base.column_accesses;
       out.drops = cur.drops - base.drops;
       out.dms_stall_cycles = cur.stall_cycles - base.stall_cycles;
+      out.active_cycles = cur.active_cycles - base.active_cycles;
+      out.energy_nj = cur.energy_nj - base.energy_nj;
       out.row_hits = out.column_accesses > out.activations
                          ? out.column_accesses - out.activations
                          : 0;

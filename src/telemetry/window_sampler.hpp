@@ -32,7 +32,16 @@ struct WindowProbe {
   std::uint64_t column_writes = 0;
   std::uint64_t reads_dropped = 0;
   std::uint64_t reads_received = 0;
+  /// Total DRAM energy. With the power accountant on this is the full
+  /// state-based total (row + access + background + refresh) and the four
+  /// component fields below decompose it; with accounting off it degrades
+  /// to the EnergyMeter's row + access and the background/refresh
+  /// components stay zero.
   double energy_nj = 0.0;
+  double energy_row_nj = 0.0;
+  double energy_access_nj = 0.0;
+  double energy_background_nj = 0.0;
+  double energy_refresh_nj = 0.0;
 
   // Instantaneous gauges.
   std::uint64_t queue_size = 0;
@@ -48,6 +57,8 @@ struct BankProbe {
   std::uint64_t column_accesses = 0;
   std::uint64_t drops = 0;
   std::uint64_t stall_cycles = 0;  ///< DMS age-gate cycles accumulated by the bank.
+  std::uint64_t active_cycles = 0; ///< Cycles with a row open (power accountant).
+  double energy_nj = 0.0;          ///< Total bank energy, all components.
 };
 
 class WindowSampler {
@@ -65,6 +76,13 @@ class WindowSampler {
   /// The probe runs only at window close, never per tick.
   void set_bank_probe(unsigned num_banks, BankProbeFn fn);
 
+  /// Conversion factor from nJ-per-cycle to watts (mem_clock_mhz * 1e-3);
+  /// closed windows then carry avg_power_w = energy_nj / ticks * scale.
+  /// Unset (0) leaves avg_power_w at zero.
+  void set_power_scale(double watts_per_nj_per_cycle) {
+    power_scale_ = watts_per_nj_per_cycle;
+  }
+
   /// Once per memory cycle, after the channel finished its work for `now`.
   void tick(Cycle now, const WindowProbe& probe);
 
@@ -81,6 +99,7 @@ class WindowSampler {
   ChannelId channel_;
   Cycle window_;
   Tracer* tracer_;
+  double power_scale_ = 0.0;  ///< nJ/cycle -> W; see set_power_scale.
 
   std::vector<WindowSample> samples_;
 

@@ -6,7 +6,7 @@
 #include "common/config.hpp"
 #include "dram/bank.hpp"
 #include "dram/channel.hpp"
-#include "dram/energy.hpp"
+#include "dram/power.hpp"
 
 namespace lazydram::dram {
 namespace {
@@ -157,15 +157,16 @@ TEST(Channel, RblHistogramsSplitReadOnlyRows) {
   const GpuConfig cfg = config();
   DramChannel ch(cfg, 0);
   const DramTiming& t = cfg.timing;
-  // Row 1 on bank 0: two reads, then closed.
+  // Row 1 on bank 0 serves two reads then closes; row 2 on bank 1 serves
+  // one read and one write and is left open for the flush. Commands are
+  // interleaved in global cycle order, as the controller issues them.
   ch.issue(CommandKind::kActivate, 0, 1, 0);
+  ch.issue(CommandKind::kActivate, 1, 2, t.tRRD);
   ch.issue(CommandKind::kRead, 0, 1, t.tRCD);
   ch.issue(CommandKind::kRead, 0, 1, t.tRCD + t.tBURST);
-  ch.issue(CommandKind::kPrecharge, 0, kInvalidRow, 100);
-  // Row 2 on bank 1: one read one write, then flushed.
-  ch.issue(CommandKind::kActivate, 1, 2, t.tRRD);
   ch.issue(CommandKind::kRead, 1, 2, 3 * t.tRCD);
   ch.issue(CommandKind::kWrite, 1, 2, 3 * t.tRCD + 5 * t.tBURST);
+  ch.issue(CommandKind::kPrecharge, 0, kInvalidRow, 100);
   ch.flush_open_rows();
 
   EXPECT_EQ(ch.rbl_histogram().at(2), 2u);  // Both rows achieved RBL 2.

@@ -1,24 +1,32 @@
 #!/usr/bin/env python3
-"""Per-phase latency attribution from lazydram request-lifecycle traces.
+"""Per-phase latency and per-window energy attribution from lazydram traces.
 
 Usage: trace_summary.py [--check] TRACE [TRACE ...]
 
 Accepts both trace formats the simulator writes:
   * JSONL (LAZYDRAM_TRACE_FORMAT=jsonl, the default): one JSON object per
-    line; request lifecycles are the {"type":"req",...} lines.
+    line; request lifecycles are the {"type":"req",...} lines, window
+    samples (with their e_row/e_access/e_bg/e_ref energy split, power_w,
+    and per-bank energy_nj) are the {"type":"window",...} lines.
   * Chrome Trace Event Format (LAZYDRAM_TRACE_FORMAT=chrome): a JSON array
     of events; request lifecycles are the async "b"/"e" spans with
-    cat == "req".
+    cat == "req", and the power timeline is the "C" counter tracks named
+    "power" (component watts), "energy" (cumulative component nJ) and
+    "bank.energy" (per-window per-bank nJ).
 
-For each file (one file per run/scheme) it prints an attribution table:
-count, mean and p95 duration per lifecycle phase. Core-clock phases
-(icnt_request, partition_wait, reply_return) are reported in core cycles,
-memory-side phases in memory cycles for JSONL traces; chrome traces are
-entirely on the memory-cycle axis (1 mem cycle = 1 us).
+For each file (one file per run/scheme) it prints a latency attribution
+table — count, mean and p95 duration per lifecycle phase — and, when the
+trace carries power data, an energy attribution table: per-channel component
+energies with mean/peak window power, and the per-bank energy split.
+Core-clock phases (icnt_request, partition_wait, reply_return) are reported
+in core cycles, memory-side phases in memory cycles for JSONL traces; chrome
+traces are entirely on the memory-cycle axis (1 mem cycle = 1 us).
 
 With --check nothing is printed on success; the files are instead validated
 (JSON parses; every async "b" has a matching "e"; spans nest as a stack with
-monotonic timestamps) and the exit status reports the result.
+monotonic timestamps; window energies are non-negative; the cumulative
+"energy" counter track is monotone non-decreasing per channel/component) and
+the exit status reports the result.
 
 Exit status: 0 = ok, 1 = validation/parse failure, 2 = bad invocation.
 """
@@ -127,6 +135,121 @@ def load_chrome_phases(path):
     return phases
 
 
+# Energy components, in the display/validation order used everywhere below.
+COMPONENTS = ("row", "access", "background", "refresh")
+
+
+def _power_channel(chans, pid):
+    return chans.setdefault(pid, {
+        "windows": 0,
+        "energy": dict.fromkeys(COMPONENTS, 0.0),
+        "power": [],   # per-window total watts
+        "banks": [],   # per-bank total nJ, index = bank id
+    })
+
+
+def load_jsonl_power(path):
+    """Per-channel energy/power aggregation from a JSONL trace's window
+    lines. Returns {} when the trace has no windows or no energy data
+    (sampling or the power accountant disabled)."""
+    chans = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise TraceError(f"line {lineno}: {e}") from e
+            if rec.get("type") != "window":
+                continue
+            ch = _power_channel(chans, rec["ch"])
+            ch["windows"] += 1
+            for comp, key in zip(COMPONENTS, ("e_row", "e_access", "e_bg", "e_ref")):
+                v = rec.get(key, 0.0)
+                if v < 0:
+                    raise TraceError(f"line {lineno}: negative {key} {v}")
+                ch["energy"][comp] += v
+            power = rec.get("power_w", 0.0)
+            if power < 0:
+                raise TraceError(f"line {lineno}: negative power_w {power}")
+            ch["power"].append(power)
+            for b, bank in enumerate(rec.get("banks", [])):
+                while b >= len(ch["banks"]):
+                    ch["banks"].append(0.0)
+                ch["banks"][b] += bank.get("energy_nj", 0.0)
+    return {pid: ch for pid, ch in chans.items() if sum(ch["energy"].values()) > 0}
+
+
+def load_chrome_power(path):
+    """Per-channel energy/power aggregation from a chrome trace's counter
+    tracks, validating that the cumulative "energy" track is monotone
+    non-decreasing per channel/component along the way."""
+    with open(path) as f:
+        try:
+            events = json.load(f)
+        except json.JSONDecodeError as e:
+            raise TraceError(str(e)) from e
+    if not isinstance(events, list):
+        raise TraceError("top-level JSON value is not an array")
+
+    chans = {}
+    for i, ev in enumerate(events):
+        if ev.get("ph") != "C":
+            continue
+        name, pid, args = ev.get("name"), ev.get("pid"), ev.get("args", {})
+        if name == "power":
+            ch = _power_channel(chans, pid)
+            ch["windows"] += 1
+            ch["power"].append(sum(args.get(c, 0.0) for c in COMPONENTS))
+        elif name == "energy":
+            ch = _power_channel(chans, pid)
+            for comp in COMPONENTS:
+                v = args.get(comp, 0.0)
+                prev = ch["energy"][comp]
+                if v < prev:
+                    raise TraceError(
+                        f"event {i}: cumulative {comp} energy on channel {pid} "
+                        f"decreases from {prev:.10g} to {v:.10g}")
+                ch["energy"][comp] = v  # Track carries the running total.
+        elif name == "bank.energy":
+            ch = _power_channel(chans, pid)
+            for key, v in args.items():
+                b = int(key[1:])  # "b3" -> 3
+                while b >= len(ch["banks"]):
+                    ch["banks"].append(0.0)
+                ch["banks"][b] += v
+    return {pid: ch for pid, ch in chans.items() if sum(ch["energy"].values()) > 0}
+
+
+def print_power_table(chans):
+    """Energy attribution: per-channel component totals + window power, then
+    the per-bank energy split."""
+    hdr = (f"{'ch':>3} {'windows':>8} {'row_nj':>13} {'access_nj':>13} "
+           f"{'bg_nj':>13} {'ref_nj':>13} {'total_nj':>13} {'mean_w':>8} {'peak_w':>8}")
+    print("\nenergy attribution:")
+    print(hdr)
+    for pid in sorted(chans):
+        ch = chans[pid]
+        e = ch["energy"]
+        power = ch["power"]
+        mean_w = sum(power) / len(power) if power else 0.0
+        peak_w = max(power) if power else 0.0
+        print(f"{pid:>3} {ch['windows']:>8} {e['row']:>13.1f} {e['access']:>13.1f} "
+              f"{e['background']:>13.1f} {e['refresh']:>13.1f} "
+              f"{sum(e.values()):>13.1f} {mean_w:>8.3f} {peak_w:>8.3f}")
+    for pid in sorted(chans):
+        banks = chans[pid]["banks"]
+        total = sum(banks)
+        if total <= 0:
+            continue
+        print(f"\nch {pid} per-bank energy:")
+        print(f"{'bank':>5} {'energy_nj':>13} {'share':>7}")
+        for b, v in enumerate(banks):
+            print(f"{b:>5} {v:>13.1f} {v / total:>7.1%}")
+
+
 # Fixed display order: end-to-end first, then the served path in pipeline
 # order, then the dropped path, so tables from different runs line up.
 PHASE_ORDER = [
@@ -166,19 +289,25 @@ def main():
         try:
             if looks_like_chrome(p):
                 phases = load_chrome_phases(p)
+                power = load_chrome_power(p)
             else:
                 phases = load_jsonl_phases(p)
-        except (OSError, TraceError, KeyError, TypeError) as e:
+                power = load_jsonl_power(p)
+        except (OSError, TraceError, KeyError, TypeError, ValueError) as e:
             print(f"trace_summary: {path}: {e}", file=sys.stderr)
             failed = True
             continue
         if args.check:
+            # Power data is optional (sampling or the accountant may be
+            # off); when present its invariants were validated on load.
             if not phases:
                 print(f"trace_summary: {path}: no request lifecycles found",
                       file=sys.stderr)
                 failed = True
         else:
             print_table(p.stem, phases)
+            if power:
+                print_power_table(power)
     return 1 if failed else 0
 
 
