@@ -14,7 +14,7 @@
 
 #include "common/config.hpp"
 #include "common/log.hpp"
-#include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "dram/address.hpp"
 #include "mem/controller.hpp"
 #include "sim/report.hpp"
@@ -42,9 +42,7 @@ Result run_example(Cycle delay) {
   spec.kind = delay > 0 ? core::SchemeKind::kStaticDms : core::SchemeKind::kBaseline;
   spec.dms_enabled = delay > 0;
   spec.static_delay = delay;
-  MemoryController mc(cfg, 0, mapper,
-                      std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                            cfg.banks_per_channel));
+  MemoryController mc(cfg, 0, mapper, core::make_scheduler(cfg, spec));
   mc.enable_window_sampling(kBenchWindow, nullptr);
 
   RequestId id = 1;

@@ -15,6 +15,7 @@
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "dram/address.hpp"
 #include "mem/controller.hpp"
 #include "sim/report.hpp"
@@ -52,9 +53,8 @@ Result run_example(Cycle delay) {
   spec.dms_enabled = delay > 0;
   spec.static_delay = delay;
 
-  auto sched = std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                     cfg.banks_per_channel);
-  core::LazyScheduler* lazy = sched.get();
+  std::unique_ptr<Scheduler> sched = core::make_scheduler(cfg, spec);
+  auto* lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
   MemoryController mc(cfg, 0, mapper, std::move(sched));
   lazy->set_ams_ready(true);
   mc.enable_window_sampling(kBenchWindow, nullptr);

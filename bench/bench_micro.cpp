@@ -21,9 +21,11 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "common/assert.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "core/scheme.hpp"
 #include "core/value_predictor.hpp"
 #include "dram/address.hpp"
@@ -43,9 +45,7 @@ void BM_DramCommandEngine(benchmark::State& state) {
   AddressMapper mapper(cfg);
   Rng rng(42);
   core::SchemeSpec spec;
-  MemoryController mc(cfg, 0, mapper,
-                      std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                            cfg.banks_per_channel));
+  MemoryController mc(cfg, 0, mapper, core::make_scheduler(cfg, spec));
   RequestId id = 1;
   Cycle now = 0;
   for (auto _ : state) {
@@ -157,13 +157,14 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles,
   }
   AddressMapper mapper(cfg);
   core::SchemeSpec spec = core::make_scheme_spec(kind, cfg.scheme);
-  auto sched = std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                     cfg.banks_per_channel);
+  std::unique_ptr<Scheduler> sched = core::make_scheduler(cfg, spec);
+  auto* lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
+  LD_ASSERT(lazy != nullptr);
   // The harness has no L2/VP warm-up; arm AMS directly so the drop pass runs.
-  sched->set_ams_ready(true);
+  lazy->set_ams_ready(true);
   if (tele != nullptr) {
-    sched->set_telemetry(&tele->tracer(), 0);
-    sched->set_lifecycle(tele->lifecycle());
+    lazy->set_telemetry(&tele->tracer(), 0);
+    lazy->set_lifecycle(tele->lifecycle());
   }
   MemoryController mc(cfg, 0, mapper, std::move(sched));
   if (tele != nullptr) {

@@ -1,7 +1,8 @@
 // Extensibility demo: plug a user-defined memory-scheduling policy into the
-// simulated GPU. Implements "Oldest-Row-First" — a toy policy that, on a row
-// miss, opens the row with the MOST pending requests instead of the oldest
-// request's row — and compares it against FR-FCFS and the paper's Dyn-DMS.
+// simulated GPU via the SchedulerRegistry. Implements "Oldest-Row-First" — a
+// toy policy that, on a row miss, opens the row with the MOST pending
+// requests instead of the oldest request's row — registers it under the name
+// "densest-row", and compares it against FR-FCFS and the paper's Dyn-DMS.
 //
 // Usage: custom_scheduler [workload]
 #include <iostream>
@@ -10,7 +11,7 @@
 #include <unordered_map>
 
 #include "common/table.hpp"
-#include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "gpu/gpu_top.hpp"
 #include "sim/metrics.hpp"
 #include "workloads/registry.hpp"
@@ -46,10 +47,9 @@ class DensestRowFirstScheduler final : public Scheduler {
   }
 };
 
-sim::RunMetrics run_policy(const workloads::Workload& wl, const GpuConfig& cfg,
-                           const gpu::GpuTop::SchedulerFactory& factory,
-                           const std::string& label) {
-  gpu::GpuTop top(cfg, wl, factory);
+sim::RunMetrics run_one(const workloads::Workload& wl, const GpuConfig& cfg,
+                        const core::SchemeSpec& spec, const std::string& label) {
+  gpu::GpuTop top(cfg, wl, core::make_scheduler_factory(cfg, spec));
   top.run();
   return sim::collect_metrics(top, wl, label, /*compute_error=*/false);
 }
@@ -59,30 +59,27 @@ sim::RunMetrics run_policy(const workloads::Workload& wl, const GpuConfig& cfg,
 int main(int argc, char** argv) {
   const std::string app = argc > 1 ? argv[1] : "SCP";
   const auto wl = workloads::make_workload(app);
-  GpuConfig cfg;
 
-  const sim::RunMetrics base = run_policy(
-      *wl, cfg,
-      [&](ChannelId) -> std::unique_ptr<Scheduler> {
-        return std::make_unique<core::LazyScheduler>(cfg.scheme, core::SchemeSpec{},
-                                                     cfg.banks_per_channel);
-      },
-      "FR-FCFS");
-  const sim::RunMetrics custom = run_policy(
-      *wl, cfg,
-      [](ChannelId) -> std::unique_ptr<Scheduler> {
+  // One registration makes the policy constructible by name everywhere the
+  // registry reaches: here, LAZYDRAM_POLICY=densest-row, bench --policy.
+  core::SchedulerRegistry::instance().register_policy(
+      "densest-row", "DensestRowFirst",
+      "toy demo: open the row with the most pending requests",
+      [](const core::PolicyRequest&) -> std::unique_ptr<Scheduler> {
         return std::make_unique<DensestRowFirstScheduler>();
-      },
-      "DensestRowFirst");
+      });
+
+  GpuConfig cfg;
+  const sim::RunMetrics base = run_one(*wl, cfg, core::SchemeSpec{}, "FR-FCFS");
+
+  GpuConfig custom_cfg = cfg;
+  custom_cfg.policy.name = "densest-row";
+  const sim::RunMetrics custom =
+      run_one(*wl, custom_cfg, core::SchemeSpec{}, "DensestRowFirst");
+
   const core::SchemeSpec dyn = core::make_scheme_spec(core::SchemeKind::kDynDms,
                                                       cfg.scheme);
-  const sim::RunMetrics dms = run_policy(
-      *wl, cfg,
-      [&](ChannelId) -> std::unique_ptr<Scheduler> {
-        return std::make_unique<core::LazyScheduler>(cfg.scheme, dyn,
-                                                     cfg.banks_per_channel);
-      },
-      "Dyn-DMS");
+  const sim::RunMetrics dms = run_one(*wl, cfg, dyn, "Dyn-DMS");
 
   std::cout << "Custom scheduling policy on " << app << ":\n\n";
   TextTable table({"Policy", "Activations", "Avg-RBL", "IPC"});

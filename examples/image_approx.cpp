@@ -6,7 +6,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "gpu/gpu_top.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/image.hpp"
@@ -22,11 +22,7 @@ int main(int argc, char** argv) {
   GpuConfig cfg;
   const core::SchemeSpec spec = core::make_scheme_spec(core::SchemeKind::kDynCombo,
                                                        cfg.scheme);
-  gpu::GpuTop top(cfg, *workload,
-                  [&](ChannelId) -> std::unique_ptr<Scheduler> {
-                    return std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                                 cfg.banks_per_channel);
-                  });
+  gpu::GpuTop top(cfg, *workload, core::make_scheduler_factory(cfg, spec));
   std::cout << "Simulating laplacian under Dyn-DMS+Dyn-AMS...\n";
   if (!top.run()) {
     std::cerr << "simulation did not finish\n";

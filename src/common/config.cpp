@@ -50,6 +50,14 @@ void GpuConfig::validate() const {
   LD_ASSERT(scheme.min_th_rbl >= 1 && scheme.min_th_rbl <= scheme.max_th_rbl);
   LD_ASSERT(scheme.coverage_cap >= 0.0 && scheme.coverage_cap <= 1.0);
   LD_ASSERT(scheme.bwutil_threshold > 0.0 && scheme.bwutil_threshold <= 1.0);
+
+  LD_ASSERT(policy.bliss_threshold > 0);
+  LD_ASSERT(policy.bliss_clear_interval > 0);
+  LD_ASSERT(policy.rr_cap > 0);
+  LD_ASSERT(policy.tune_min_delay <= policy.tune_max_delay);
+  LD_ASSERT(policy.tune_step > 0);
+  LD_ASSERT(policy.tune_window > 0);
+  LD_ASSERT(policy.tune_tolerance > 0.0 && policy.tune_tolerance <= 1.0);
 }
 
 std::vector<std::pair<std::string, std::string>> GpuConfig::describe() const {

@@ -103,6 +103,36 @@ struct SchemeParams {
   std::uint64_t l2_warmup_fills = 512;  ///< AMS disabled until this many L2 fills.
 };
 
+/// Per-policy knobs for the scheduler plugins behind the SchedulerRegistry
+/// (src/core/scheduler_registry.*). `name` selects the policy; only the
+/// block matching the selected policy is read, the rest is inert. Parsed
+/// from $LAZYDRAM_POLICY ("name[:key=value,...]") and bench CLI flags.
+struct PolicyParams {
+  /// Registry name of the scheduling policy: "lazy" (the paper's
+  /// DMS/AMS-capable scheduler, configured by a SchemeSpec), "frfcfs",
+  /// "fcfs", "bliss", "batch-rr" or "autotune". Empty selects "lazy" so
+  /// existing configs keep their meaning.
+  std::string name;
+
+  // --- BLISS (blacklisting for fairness; keys: threshold, interval) ---
+  /// Consecutive serves from one warp group (SM) before it is blacklisted.
+  unsigned bliss_threshold = 4;
+  /// Blacklist clearing interval in memory cycles.
+  Cycle bliss_clear_interval = 8192;
+
+  // --- Batch-cap RR (key: cap) ---
+  /// Consecutive row hits one bank may stream before the policy rotates to
+  /// the oldest request of another pending row.
+  unsigned rr_cap = 4;
+
+  // --- Hill-climbing delay autotuner (keys: min, max, step, window, tol) ---
+  Cycle tune_min_delay = 0;      ///< Gating-delay search lower bound.
+  Cycle tune_max_delay = 2048;   ///< Gating-delay search upper bound.
+  Cycle tune_step = 128;         ///< Initial hill-climb step (adapts 8x both ways).
+  Cycle tune_window = 4096;      ///< Measurement window in memory cycles.
+  double tune_tolerance = 0.95;  ///< Keep BWUTIL >= this fraction of the best seen.
+};
+
 /// Cache geometry.
 struct CacheGeometry {
   std::uint32_t size_bytes = 0;
@@ -144,6 +174,10 @@ struct GpuConfig {
   unsigned icnt_latency = 8;
 
   SchemeParams scheme{};
+
+  /// Scheduler-policy selection + per-policy knobs (see PolicyParams). The
+  /// SchedulerRegistry is the single construction path for all of them.
+  PolicyParams policy{};
 
   /// Enables the memory controller's schedulability fast paths (skip
   /// decide() for banks with no pending work, restrict the AMS drop pass,

@@ -34,6 +34,12 @@ inline constexpr RowId kInvalidRow = ~RowId{0};
 /// Sentinel cycle meaning "never" / "not scheduled".
 inline constexpr Cycle kNeverCycle = ~Cycle{0};
 
+/// Sentinel for "no request". Real ids are small monotonic integers
+/// (allocation starts at 1), so the all-ones pattern is never a live id.
+/// Decision::none()/gated() carry this so a kNone answer can never alias a
+/// real request.
+inline constexpr RequestId kInvalidRequest = ~RequestId{0};
+
 /// Size of one cache line / DRAM transaction in bytes (Table I: 128B blocks).
 inline constexpr std::size_t kLineBytes = 128;
 

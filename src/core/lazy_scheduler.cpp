@@ -1,6 +1,7 @@
 #include "core/lazy_scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/hub.hpp"
 #include "telemetry/lifecycle.hpp"
 
 namespace lazydram::core {
@@ -160,6 +161,18 @@ void LazyScheduler::harvest_bank_stalls(Cycle end, std::vector<std::uint64_t>& c
 void LazyScheduler::fill_probe(telemetry::WindowProbe& probe) const {
   probe.dms_delay = spec_.dms_enabled ? dms_.current_delay() : 0;
   probe.th_rbl = spec_.ams_enabled ? ams_.th_rbl() : 0;
+}
+
+void LazyScheduler::register_stats(telemetry::TelemetryHub& hub,
+                                   const std::string& prefix) const {
+  hub.add_gauge(prefix + "dms.delay",
+                [this] { return static_cast<double>(dms_.current_delay()); });
+  hub.add_gauge(prefix + "dms.avg_delay", [this] { return average_delay(); });
+  hub.add_gauge(prefix + "ams.th_rbl",
+                [this] { return static_cast<double>(ams_.th_rbl()); });
+  hub.add_gauge(prefix + "ams.avg_th_rbl", [this] { return average_th_rbl(); });
+  hub.add_gauge(prefix + "ams.coverage", [this] { return ams_.coverage(); });
+  hub.add_counter(prefix + "ams.reads_dropped", [this] { return ams_.reads_dropped(); });
 }
 
 }  // namespace lazydram::core

@@ -58,6 +58,7 @@ class LazyScheduler : public Scheduler {
   void set_lifecycle(telemetry::LifecycleCollector* lifecycle) { lifecycle_ = lifecycle; }
 
   void fill_probe(telemetry::WindowProbe& probe) const override;
+  void register_stats(telemetry::TelemetryHub& hub, const std::string& prefix) const override;
   void enable_bank_stall_tracking() override { bank_stats_ = true; }
   void harvest_bank_stalls(Cycle end, std::vector<std::uint64_t>& cum) override;
 
@@ -107,9 +108,9 @@ class LazyScheduler : public Scheduler {
   ChannelId channel_ = 0;
   telemetry::LifecycleCollector* lifecycle_ = nullptr;
   bool bank_stats_ = false;
-  /// No-stall sentinel for `stalled_` (request ids are small monotonic
-  /// integers, so the all-ones pattern is never a real id).
-  static constexpr RequestId kNoStall = ~RequestId{0};
+  /// No-stall sentinel for `stalled_` (same all-ones pattern as the global
+  /// invalid-request sentinel).
+  static constexpr RequestId kNoStall = kInvalidRequest;
   /// Per-bank id of the currently age-gated request (kNoStall if none), for
   /// stall begin/end events. Tracking the id — not just a flag — lets
   /// on_serve/on_drop close a stall whose request leaves the queue without a

@@ -1,0 +1,104 @@
+// The scheduler-policy registry: the single construction path for every
+// Scheduler in the codebase. Policies are registered by name with a factory
+// taking a PolicyRequest (full GpuConfig + SchemeSpec + channel); the
+// simulator, the diff harness, benches and tests all resolve policies here,
+// so a policy configured one way cannot silently be constructed another way
+// elsewhere (the bug class behind the old hand-rolled switch statements in
+// simulator.cpp / diff.cpp).
+//
+// Built-in policies (registered on first use):
+//   "lazy"     — the paper's DMS/AMS scheduler, configured by the SchemeSpec
+//                (the default; covers all seven Fig. 12 schemes)
+//   "frfcfs"   — baseline FR-FCFS
+//   "fcfs"     — strict arrival order
+//   "bliss"    — blacklisting fairness scheduler (PolicyParams::bliss_*)
+//   "batch-rr" — batch-capped round-robin (PolicyParams::rr_cap)
+//   "autotune" — hill-climbing delay autotuner (PolicyParams::tune_*)
+//
+// External code may register additional policies with register_policy()
+// (see examples/custom_scheduler.cpp); names are unique, registration of a
+// duplicate name aborts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/scheme.hpp"
+#include "mem/scheduler.hpp"
+
+namespace lazydram::core {
+
+/// Everything a policy factory may draw on. Copied into the per-run factory
+/// closure, so the referenced config cannot dangle.
+struct PolicyRequest {
+  GpuConfig cfg{};
+  SchemeSpec spec{};
+  ChannelId channel = 0;
+};
+
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>(const PolicyRequest&)>;
+
+  /// The process-wide registry, with the built-ins already registered.
+  static SchedulerRegistry& instance();
+
+  /// Registers a policy. `name` is the config/env/CLI handle (lowercase,
+  /// unique — duplicates abort); `label` is the human-readable run label
+  /// reports use; `description` is one line for --list style output.
+  void register_policy(std::string name, std::string label, std::string description,
+                       Factory factory);
+
+  bool known(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::string label(const std::string& name) const;
+  std::string description(const std::string& name) const;
+
+  /// Constructs policy `name` for `req`. Aborts on unknown names — callers
+  /// gate on known() when the name came from user input.
+  std::unique_ptr<Scheduler> make(const std::string& name, const PolicyRequest& req) const;
+
+ private:
+  SchedulerRegistry() = default;
+
+  struct Entry {
+    std::string label;
+    std::string description;
+    Factory factory;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Resolves the effective policy name: cfg.policy.name, defaulting to "lazy"
+/// when empty.
+std::string policy_name(const GpuConfig& cfg);
+
+/// The run label for the configured policy: "lazy" runs are labeled by their
+/// scheme (e.g. "Dyn-DMS+Dyn-AMS") so existing reports keep their names;
+/// other policies use their registry label.
+std::string run_label(const GpuConfig& cfg, const SchemeSpec& spec);
+
+/// Parses a policy spec "name[:key=value,...]" (the $LAZYDRAM_POLICY and
+/// bench --policy grammar) into cfg.policy. Keys: bliss → threshold,
+/// interval; batch-rr → cap; autotune → min, max, step, window, tol.
+/// Returns false (and sets *error, if non-null) on unknown names/keys or
+/// unparsable values, leaving cfg untouched.
+bool parse_policy_spec(const std::string& text, GpuConfig& cfg, std::string* error = nullptr);
+
+/// Per-channel factory for the policy configured in `cfg` (captures cfg and
+/// spec by value). This is the object GpuTop construction takes.
+std::function<std::unique_ptr<Scheduler>(ChannelId)> make_scheduler_factory(
+    const GpuConfig& cfg, const SchemeSpec& spec);
+
+/// One-off construction (tests, benches driving a single controller).
+std::unique_ptr<Scheduler> make_scheduler(const GpuConfig& cfg, const SchemeSpec& spec,
+                                          ChannelId channel = 0);
+
+}  // namespace lazydram::core

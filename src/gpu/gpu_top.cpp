@@ -2,7 +2,6 @@
 
 #include "check/context.hpp"
 #include "common/assert.hpp"
-#include "mem/fcfs.hpp"
 
 namespace lazydram::gpu {
 
@@ -46,7 +45,7 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
     Partition& p = partitions_.emplace_back(cfg.l2);
     std::unique_ptr<Scheduler> sched = factory(ch);
     p.lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
-    const bool is_fcfs = dynamic_cast<FcfsScheduler*>(sched.get()) != nullptr;
+    const bool hit_first = sched->hit_first();
     if (tracer_ != nullptr && p.lazy != nullptr) p.lazy->set_telemetry(tracer_, ch);
     if (lifecycle_ != nullptr && p.lazy != nullptr) p.lazy->set_lifecycle(lifecycle_);
     p.mc = std::make_unique<MemoryController>(cfg_, ch, mapper_, std::move(sched),
@@ -58,9 +57,9 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
         check::CheckerOptions opts;
         opts.mode = check->config().mode;
         opts.starvation_bound = check->config().starvation_bound;
-        // Plain FCFS legitimately closes rows with younger hits pending;
-        // every other policy in the repo is hit-first.
-        opts.hit_first = !is_fcfs;
+        // Policies that legitimately close rows with younger hits pending
+        // (FCFS's strict age order, BLISS, batch-cap RR) declare it.
+        opts.hit_first = hit_first;
         opts.ams_allowed = p.lazy != nullptr && p.lazy->spec().ams_enabled;
         opts.coverage_cap = cfg.scheme.coverage_cap;
         check::ProtocolChecker* ck = check->add_checker(cfg_, ch, opts);
@@ -341,20 +340,10 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
     hub.add_counter(channel_stat("core", ch, "vp.zero_fills"),
                     [vp] { return vp->zero_fills(); });
 
-    if (const core::LazyScheduler* lz = partitions_[ch].lazy) {
-      hub.add_gauge(channel_stat("core", ch, "dms.delay"),
-                    [lz] { return static_cast<double>(lz->dms().current_delay()); });
-      hub.add_gauge(channel_stat("core", ch, "dms.avg_delay"),
-                    [lz] { return lz->average_delay(); });
-      hub.add_gauge(channel_stat("core", ch, "ams.th_rbl"),
-                    [lz] { return static_cast<double>(lz->ams().th_rbl()); });
-      hub.add_gauge(channel_stat("core", ch, "ams.avg_th_rbl"),
-                    [lz] { return lz->average_th_rbl(); });
-      hub.add_gauge(channel_stat("core", ch, "ams.coverage"),
-                    [lz] { return lz->ams().coverage(); });
-      hub.add_counter(channel_stat("core", ch, "ams.reads_dropped"),
-                      [lz] { return lz->ams().reads_dropped(); });
-    }
+    // Policy-owned stats: each scheduler registers its own entries (the lazy
+    // scheduler's DMS/AMS gauges, BLISS blacklist counters, ...) under the
+    // conventional per-channel prefix.
+    mc->scheduler().register_stats(hub, channel_stat("core", ch, ""));
 
     if (const check::ProtocolChecker* ck = checkers_[ch]) {
       hub.add_counter(channel_stat("check", ch, "commands"),

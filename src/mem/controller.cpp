@@ -31,6 +31,7 @@ MemoryController::MemoryController(const GpuConfig& cfg, ChannelId id,
       bank_drops_(cfg.banks_per_channel, 0) {
   LD_ASSERT(scheduler_ != nullptr);
   drops_possible_ = scheduler_->drops_possible();
+  memo_safe_ = scheduler_->decide_memo_safe();
 }
 
 void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
@@ -187,16 +188,30 @@ void MemoryController::issue_one_command(Cycle now) {
     const BankView view{b, bank.row_open(), bank.open_row()};
 
     const Decision d = scheduler_->decide(queue_, view, now);
+    LD_ASSERT_MSG(d.action != Decision::Action::kNone || d.req_id == kInvalidRequest,
+                  "kNone decision carries a request id (use none()/gated())");
     if (d.action == Decision::Action::kServe) {
       const MemRequest* req = queue_.find(d.req_id);
       LD_ASSERT_MSG(req != nullptr, "scheduler chose a request not in the queue");
       LD_ASSERT_MSG(req->loc.bank == b, "scheduler chose a request for another bank");
+      // Activation commitment: policies with cross-bank ranking state (e.g. a
+      // BLISS blacklist update landing between this bank's ACT and CAS) can
+      // switch rows after an activation was already paid for. Closing a row
+      // that never served an access wastes the ACT and trips the channel's
+      // zero-access accounting invariant, so the engine first retires the
+      // oldest pending request of the untouched open row; the policy's new
+      // choice proceeds next cycle. Row-stable policies never take this path.
+      if (bank.row_open() && bank.open_row_accesses() == 0 &&
+          req->loc.row != bank.open_row()) {
+        if (const MemRequest* sticky = queue_.oldest_for_row(b, bank.open_row()))
+          req = sticky;
+      }
       Cycle retry_at = 0;
       if (advance_request(*req, now, &retry_at)) {
         rr_bank_ = b + 1 == num_banks_ ? 0 : b + 1;
         return;
       }
-      if (fast_path_ && retry_at > now) {
+      if (fast_path_ && memo_safe_ && retry_at > now) {
         bank_retry_at_[b] = retry_at;
         min_wake = std::min(min_wake, retry_at);
       } else {
@@ -207,7 +222,8 @@ void MemoryController::issue_one_command(Cycle now) {
       continue;  // Command not legal this cycle; give other banks a chance.
     }
 
-    if (fast_path_ && d.action == Decision::Action::kNone && d.none_until > now) {
+    if (fast_path_ && memo_safe_ && d.action == Decision::Action::kNone &&
+        d.none_until > now) {
       bank_none_until_[b] = d.none_until;
       min_wake = std::min(min_wake, d.none_until);
     } else {
@@ -298,8 +314,11 @@ void MemoryController::tick(Cycle now_mem) {
         const dram::Bank& bank = dram_.bank(b);
         const BankView view{b, bank.row_open(), bank.open_row()};
         const Decision d = scheduler_->decide(queue_, view, now_mem);
+        LD_ASSERT_MSG(
+            d.action != Decision::Action::kNone || d.req_id == kInvalidRequest,
+            "kNone decision carries a request id (use none()/gated())");
         if (d.action != Decision::Action::kDrop) {
-          if (fast_path_ && d.action == Decision::Action::kNone &&
+          if (fast_path_ && memo_safe_ && d.action == Decision::Action::kNone &&
               d.none_until > now_mem) {
             bank_none_until_[b] = d.none_until;
             min_wake = std::min(min_wake, d.none_until);

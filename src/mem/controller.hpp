@@ -69,6 +69,7 @@ class MemoryController {
   const dram::DramChannel& channel() const { return dram_; }
   const PendingQueue& queue() const { return queue_; }
   Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
 
   std::uint64_t reads_received() const { return reads_received_; }
   std::uint64_t writes_received() const { return writes_received_; }
@@ -174,6 +175,11 @@ class MemoryController {
   /// Cached Scheduler::drops_possible(): non-AMS schemes never run the drop
   /// pass, not even the may_drop() poll.
   bool drops_possible_;
+  /// Cached Scheduler::decide_memo_safe(): policies with cross-bank coupling
+  /// (BLISS) run with the per-bank retry/none_until memos disabled — only
+  /// the unconditionally safe fast paths (empty-bank skip, idle
+  /// short-circuit) remain for them.
+  bool memo_safe_;
   /// Per-bank retry memo: the command pass skips a bank until this cycle
   /// after its chosen command failed legality (earliest_issue lower bound).
   /// Invalidated (set to 0) whenever the bank's pending set changes —

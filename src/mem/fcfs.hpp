@@ -11,6 +11,9 @@ namespace lazydram {
 class FcfsScheduler : public Scheduler {
  public:
   Decision decide(const PendingQueue& queue, const BankView& bank, Cycle now) override;
+
+  /// Strict age order closes an open row even while hits for it pend.
+  bool hit_first() const override { return false; }
 };
 
 }  // namespace lazydram

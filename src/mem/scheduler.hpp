@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -15,6 +16,10 @@
 #include "telemetry/window_sampler.hpp"
 
 namespace lazydram {
+
+namespace telemetry {
+class TelemetryHub;
+}
 
 /// Snapshot of a bank's externally visible state.
 struct BankView {
@@ -31,7 +36,10 @@ struct Decision {
     kDrop,   ///< Remove `req_id` from the queue; reply via the VP unit (AMS).
   };
   Action action = Action::kNone;
-  RequestId req_id = 0;
+  /// Meaningful for kServe/kDrop only; kNone answers carry kInvalidRequest so
+  /// an accidental dereference can never alias a live request (ids start at 1,
+  /// but 0 was still a representable id — see the controller's LD_ASSERTs).
+  RequestId req_id = kInvalidRequest;
   /// For kNone only: the policy guarantees the answer stays kNone until this
   /// cycle *provided* the bank's pending set and the policy's delay knobs do
   /// not change (the controller invalidates on either). 0 = no guarantee.
@@ -39,7 +47,7 @@ struct Decision {
 
   static Decision none() { return {}; }
   /// kNone with a stability horizon (see none_until).
-  static Decision gated(Cycle until) { return {Action::kNone, 0, until}; }
+  static Decision gated(Cycle until) { return {Action::kNone, kInvalidRequest, until}; }
   static Decision serve(RequestId id) { return {Action::kServe, id}; }
   static Decision drop(RequestId id) { return {Action::kDrop, id}; }
 };
@@ -66,6 +74,23 @@ class Scheduler {
   /// state query — may_drop() answers the per-cycle question). The
   /// controller caches it once and never even polls may_drop() when false.
   virtual bool drops_possible() const { return false; }
+
+  /// Row-hit-first capability: true iff the policy never issues a PRE on a
+  /// bank that still holds pending row hits for the open row. The strict
+  /// protocol checker enforces hit-first ordering only when this holds;
+  /// policies that deliberately close rows with hits outstanding (FCFS's
+  /// strict age order, BLISS's blacklist ranking, batch-cap RR's rotation)
+  /// return false. Constant over the scheduler's lifetime.
+  virtual bool hit_first() const { return true; }
+
+  /// Memoization capability: true iff a decide(queue, bank, now) answer can
+  /// only change when that bank's pending set changes, the policy's delay
+  /// knobs change, or its none_until horizon expires. The controller's
+  /// retry/none_until memo layer is sound exactly under that assumption;
+  /// policies with cross-bank coupling (BLISS: a serve on bank A can
+  /// blacklist an SM and reorder bank B's candidates) return false and run
+  /// with memos disabled. Constant over the scheduler's lifetime.
+  virtual bool decide_memo_safe() const { return true; }
 
   /// True iff an AMS row-group drop is draining on `bank`. The controller's
   /// drop pass must keep visiting a draining bank even when its pending
@@ -95,6 +120,15 @@ class Scheduler {
   /// Contributes policy-side gauges (DMS delay, Th_RBL, ...) to a windowed
   /// telemetry probe. Plain policies have nothing to add.
   virtual void fill_probe(telemetry::WindowProbe& probe) const { (void)probe; }
+
+  /// Registers policy-owned stats (counters/gauges reading this scheduler's
+  /// internal state) with the stat registry under `prefix` (e.g. "core.ch0.").
+  /// Called once after construction; the scheduler must outlive the hub's
+  /// snapshots. Stateless policies register nothing.
+  virtual void register_stats(telemetry::TelemetryHub& hub, const std::string& prefix) const {
+    (void)hub;
+    (void)prefix;
+  }
 
   /// Asks the policy to start accumulating per-bank observability counters
   /// (DMS stall cycles) for the windowed bank probe. Policies without

@@ -9,7 +9,7 @@
 #include "check/context.hpp"
 #include "check/golden.hpp"
 #include "common/assert.hpp"
-#include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "gpu/gpu_top.hpp"
 #include "workloads/registry.hpp"
 
@@ -59,10 +59,25 @@ std::string describe_golden(const check::GoldenEntry& g) {
 
 DiffResult DiffHarness::run(const std::string& workload_name,
                             const core::SchemeSpec& spec, check::CheckMode mode) {
+  return run_impl(workload_name, cfg_, spec, core::run_label(cfg_, spec), mode);
+}
+
+DiffResult DiffHarness::run_policy(const std::string& workload_name,
+                                   const std::string& policy_name,
+                                   check::CheckMode mode) {
+  GpuConfig cfg = cfg_;
+  cfg.policy.name = policy_name;
+  const core::SchemeSpec spec{};  // Baseline: DMS/AMS off.
+  return run_impl(workload_name, cfg, spec, core::run_label(cfg, spec), mode);
+}
+
+DiffResult DiffHarness::run_impl(const std::string& workload_name, const GpuConfig& cfg,
+                                 const core::SchemeSpec& spec, const std::string& label,
+                                 check::CheckMode mode) {
   DiffResult result;
   result.workload = workload_name;
-  result.scheme = core::scheme_name(spec.kind);
-  result.channels = cfg_.num_channels;
+  result.scheme = label;
+  result.channels = cfg.num_channels;
 
   const std::unique_ptr<workloads::Workload> wl =
       workloads::make_workload(workload_name);
@@ -72,23 +87,23 @@ DiffResult DiffHarness::run(const std::string& workload_name,
   check_cfg.record = true;
   check::CheckContext ctx(check_cfg);
 
-  const GpuConfig& cfg = cfg_;
-  gpu::GpuTop::SchedulerFactory factory = [&](ChannelId) -> std::unique_ptr<Scheduler> {
-    return std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                 cfg.banks_per_channel);
-  };
+  // The one registry seam: the live run here constructs its scheduler the
+  // exact same way simulate_full does, so the golden diff can never compare
+  // a differently-configured policy than the simulator runs (the drift bug
+  // the old hand-rolled factories allowed).
+  const gpu::GpuTop::SchedulerFactory factory = core::make_scheduler_factory(cfg, spec);
 
-  gpu::GpuTop top(cfg_, *wl, factory, RowPolicy::kOpenRow, nullptr, &ctx);
+  gpu::GpuTop top(cfg, *wl, factory, RowPolicy::kOpenRow, nullptr, &ctx);
   const bool finished = top.run();
   LD_ASSERT_MSG(finished, "diff run hit max_core_cycles before completing");
 
-  for (ChannelId ch = 0; ch < cfg_.num_channels; ++ch) {
+  for (ChannelId ch = 0; ch < cfg.num_channels; ++ch) {
     const check::ChannelRecorder* rec = ctx.recorder(ch);
     LD_ASSERT(rec != nullptr);
     const check::ChannelRecording& recording = rec->recording();
     result.requests += recording.arrivals.size();
 
-    const check::GoldenTimeline golden = check::golden_replay(recording, cfg_);
+    const check::GoldenTimeline golden = check::golden_replay(recording, cfg);
     if (!golden.completed) {
       result.golden_completed = false;
       result.divergences.push_back(DiffDivergence{

@@ -41,17 +41,30 @@ class DiffHarness {
  public:
   explicit DiffHarness(const GpuConfig& cfg = GpuConfig{}) : cfg_(cfg) {}
 
-  /// Runs `workload_name` under `spec` (LazyScheduler policy) and diffs the
-  /// optimized timeline against the golden model. `mode` additionally arms
-  /// the runtime protocol checker during the run.
+  /// Runs `workload_name` under `spec` (the policy configured in the
+  /// GpuConfig — by default the lazy scheduler) and diffs the optimized
+  /// timeline against the golden model. `mode` additionally arms the runtime
+  /// protocol checker during the run.
   DiffResult run(const std::string& workload_name, const core::SchemeSpec& spec,
                  check::CheckMode mode = check::CheckMode::kLog);
+
+  /// Runs `workload_name` under registry policy `policy_name` with the
+  /// baseline scheme spec and diffs against the golden model. The golden
+  /// model replays FR-FCFS arbitration, so only FR-FCFS-equivalent policies
+  /// ("frfcfs", "lazy" with everything disabled) are expected to match; this
+  /// is the diffcheck lane of the policy-arena CI job.
+  DiffResult run_policy(const std::string& workload_name, const std::string& policy_name,
+                        check::CheckMode mode = check::CheckMode::kLog);
 
   /// Formats the first divergence (or the wedge notice) as a readable block
   /// for CI artifacts; empty string when `result.ok()`.
   static std::string format_divergence(const DiffResult& result);
 
  private:
+  DiffResult run_impl(const std::string& workload_name, const GpuConfig& cfg,
+                      const core::SchemeSpec& spec, const std::string& label,
+                      check::CheckMode mode);
+
   GpuConfig cfg_;
 };
 

@@ -6,9 +6,8 @@
 #include "check/context.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "core/scheduler_registry.hpp"
 #include "gpu/gpu_top.hpp"
-#include "mem/fcfs.hpp"
-#include "mem/frfcfs.hpp"
 #include "sim/run_report.hpp"
 
 namespace lazydram::sim {
@@ -52,29 +51,34 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
                pw.c_str());
   }
 
-  gpu::GpuTop::SchedulerFactory factory;
-  std::string label = config.scheme_label;
+  // Resolve the scheduler policy, most explicit first: a non-default
+  // RunConfig::policy (legacy PolicyKind), then a configured
+  // GpuConfig::policy.name, then $LAZYDRAM_POLICY, else "lazy". All paths
+  // construct via the SchedulerRegistry — the one construction seam the
+  // golden-model diff harness shares (see src/core/scheduler_registry.hpp).
   switch (config.policy) {
     case PolicyKind::kLazy:
-      factory = [&](ChannelId) -> std::unique_ptr<Scheduler> {
-        return std::make_unique<core::LazyScheduler>(cfg.scheme, config.spec,
-                                                     cfg.banks_per_channel);
-      };
-      if (label.empty()) label = core::scheme_name(config.spec.kind);
-      break;
+      break;  // Keep whatever cfg.policy.name says (usually empty = lazy).
     case PolicyKind::kFrFcfs:
-      factory = [](ChannelId) -> std::unique_ptr<Scheduler> {
-        return std::make_unique<FrFcfsScheduler>();
-      };
-      if (label.empty()) label = "FR-FCFS";
+      cfg.policy.name = "frfcfs";
       break;
     case PolicyKind::kFcfs:
-      factory = [](ChannelId) -> std::unique_ptr<Scheduler> {
-        return std::make_unique<FcfsScheduler>();
-      };
-      if (label.empty()) label = "FCFS";
+      cfg.policy.name = "fcfs";
       break;
   }
+  if (cfg.policy.name.empty()) {
+    if (const std::string pol = telemetry::env_string("LAZYDRAM_POLICY"); !pol.empty()) {
+      std::string error;
+      if (!core::parse_policy_spec(pol, cfg, &error))
+        log_warn("LAZYDRAM_POLICY='%s' rejected (%s); using the configured policy",
+                 pol.c_str(), error.c_str());
+    }
+  }
+
+  const gpu::GpuTop::SchedulerFactory factory =
+      core::make_scheduler_factory(cfg, config.spec);
+  std::string label = config.scheme_label;
+  if (label.empty()) label = core::run_label(cfg, config.spec);
 
   // Resolve the observability configuration: explicit RunConfig paths win,
   // then the environment; window sampling is implied by either output.

@@ -12,9 +12,9 @@
 #include "check/mode.hpp"
 #include "check/recorder.hpp"
 #include "common/config.hpp"
+#include "core/scheduler_registry.hpp"
 #include "dram/address.hpp"
 #include "mem/controller.hpp"
-#include "mem/frfcfs.hpp"
 #include "sim/diff.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
@@ -365,10 +365,11 @@ class CheckedControllerTest : public ::testing::Test {
  protected:
   CheckedControllerTest()
       : mapper_(cfg_),
-        mc_(cfg_, /*channel=*/0, mapper_, std::make_unique<FrFcfsScheduler>()) {}
+        mc_(cfg_, /*channel=*/0, mapper_, core::make_scheduler(cfg_, core::SchemeSpec{})) {}
 
   static GpuConfig make_cfg() {
     GpuConfig c;
+    c.policy.name = "frfcfs";
     c.validate();
     return c;
   }

@@ -4,15 +4,16 @@
 #include <gtest/gtest.h>
 
 #include "common/config.hpp"
+#include "core/scheduler_registry.hpp"
 #include "dram/address.hpp"
 #include "mem/controller.hpp"
-#include "mem/frfcfs.hpp"
 
 namespace lazydram {
 namespace {
 
 GpuConfig test_config() {
   GpuConfig cfg;
+  cfg.policy.name = "frfcfs";
   cfg.validate();
   return cfg;
 }
@@ -22,7 +23,7 @@ class ControllerHarness {
   ControllerHarness()
       : cfg_(test_config()),
         mapper_(cfg_),
-        mc_(cfg_, /*channel=*/0, mapper_, std::make_unique<FrFcfsScheduler>()) {}
+        mc_(cfg_, /*channel=*/0, mapper_, core::make_scheduler(cfg_, core::SchemeSpec{})) {}
 
   /// Builds a read request to (bank, row, col) on channel 0.
   MemRequest read_at(BankId bank, RowId row, std::uint32_t col_line) {

@@ -8,6 +8,7 @@
 
 #include "common/config.hpp"
 #include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "dram/address.hpp"
 #include "mem/controller.hpp"
 #include "telemetry/trace.hpp"
@@ -29,9 +30,8 @@ class SchemeControllerTest : public ::testing::Test {
   std::unique_ptr<MemoryController> make(const core::SchemeSpec& spec,
                                          RowPolicy policy = RowPolicy::kOpenRow,
                                          bool ams_ready = true) {
-    auto sched =
-        std::make_unique<core::LazyScheduler>(cfg_.scheme, spec, cfg_.banks_per_channel);
-    lazy_ = sched.get();
+    std::unique_ptr<Scheduler> sched = core::make_scheduler(cfg_, spec);
+    lazy_ = dynamic_cast<core::LazyScheduler*>(sched.get());
     auto mc = std::make_unique<MemoryController>(cfg_, 0, mapper_, std::move(sched),
                                                  policy);
     if (ams_ready) lazy_->set_ams_ready(true);

@@ -3,9 +3,8 @@
 // workload plus spot checks on registry apps.
 #include <gtest/gtest.h>
 
-#include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "gpu/gpu_top.hpp"
-#include "mem/frfcfs.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/patterns.hpp"
@@ -74,10 +73,7 @@ class MiniWorkload final : public workloads::Workload {
 
 gpu::GpuTop::SchedulerFactory lazy_factory(const GpuConfig& cfg,
                                            const core::SchemeSpec& spec) {
-  return [&cfg, spec](ChannelId) -> std::unique_ptr<Scheduler> {
-    return std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                 cfg.banks_per_channel);
-  };
+  return core::make_scheduler_factory(cfg, spec);
 }
 
 TEST(GpuTop, BaselineRunCompletesAndConserves) {
@@ -124,9 +120,10 @@ TEST(GpuTop, BaselineLazyMatchesPlainFrFcfs) {
   const core::SchemeSpec spec;
   gpu::GpuTop lazy_top(cfg, wl, lazy_factory(cfg, spec));
   lazy_top.run(20'000'000);
-  gpu::GpuTop fr_top(cfg, wl, [](ChannelId) -> std::unique_ptr<Scheduler> {
-    return std::make_unique<FrFcfsScheduler>();
-  });
+  GpuConfig fr_cfg = cfg;
+  fr_cfg.policy.name = "frfcfs";
+  gpu::GpuTop fr_top(fr_cfg, wl,
+                     core::make_scheduler_factory(fr_cfg, core::SchemeSpec{}));
   fr_top.run(20'000'000);
   EXPECT_EQ(lazy_top.core_cycles(), fr_top.core_cycles());
   sim::RunMetrics a = sim::collect_metrics(lazy_top, wl, "a", false);

@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
 #include "core/scheme.hpp"
 #include "dram/address.hpp"
 #include "mem/controller.hpp"
@@ -148,12 +149,13 @@ TEST(LifecycleController, PhaseIdentitiesHoldForServedAndDroppedRecords) {
   AddressMapper mapper(cfg);
   const core::SchemeSpec spec =
       core::make_scheme_spec(core::SchemeKind::kStaticCombo, cfg.scheme);
-  auto sched = std::make_unique<core::LazyScheduler>(cfg.scheme, spec,
-                                                     cfg.banks_per_channel);
-  sched->set_ams_ready(true);  // No L2 warm-up in this harness.
+  std::unique_ptr<Scheduler> sched = core::make_scheduler(cfg, spec);
+  auto* lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
+  ASSERT_NE(lazy, nullptr);
+  lazy->set_ams_ready(true);  // No L2 warm-up in this harness.
   LifecycleCollector lc(nullptr, 1);
   lc.set_retain(true);
-  sched->set_lifecycle(&lc);
+  lazy->set_lifecycle(&lc);
   MemoryController mc(cfg, 0, mapper, std::move(sched));
   mc.set_lifecycle(&lc);
 

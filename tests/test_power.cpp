@@ -12,8 +12,8 @@
 #include "dram/address.hpp"
 #include "dram/channel.hpp"
 #include "dram/power.hpp"
+#include "core/scheduler_registry.hpp"
 #include "mem/controller.hpp"
-#include "mem/frfcfs.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/registry.hpp"
 
@@ -25,6 +25,7 @@ using dram::PowerBreakdown;
 
 GpuConfig test_config() {
   GpuConfig cfg;
+  cfg.policy.name = "frfcfs";
   cfg.validate();
   return cfg;
 }
@@ -98,7 +99,7 @@ class PowerControllerTest : public ::testing::Test {
  protected:
   PowerControllerTest()
       : mapper_(cfg_),
-        mc_(cfg_, /*channel=*/0, mapper_, std::make_unique<FrFcfsScheduler>()) {}
+        mc_(cfg_, /*channel=*/0, mapper_, core::make_scheduler(cfg_, core::SchemeSpec{})) {}
 
   MemRequest request(BankId bank, RowId row, std::uint32_t col,
                      AccessKind kind = AccessKind::kRead) {
@@ -148,7 +149,7 @@ TEST_F(PowerControllerTest, RefreshAndBackgroundIdleVsLoaded) {
   EXPECT_DOUBLE_EQ(idle.access_nj, 0.0);
 
   // Loaded run of the same length in a fresh controller.
-  MemoryController loaded(cfg_, 0, mapper_, std::make_unique<FrFcfsScheduler>());
+  MemoryController loaded(cfg_, 0, mapper_, core::make_scheduler(cfg_, core::SchemeSpec{}));
   Cycle t = 0;
   for (BankId b = 0; b < 8; ++b)
     for (std::uint32_t c = 0; c < 8; ++c) loaded.enqueue(request(b, 1 + c / 4, c), t);

@@ -11,9 +11,14 @@
 //
 // Usage:
 //   diffcheck [--workloads A,B,C] [--schemes Baseline,Dyn-DMS,...] [--list]
+//   diffcheck --policy frfcfs [--workloads A,B,C]
 //
 // Defaults: three workloads spanning the paper's behavior groups, all seven
-// schemes.
+// schemes. `--policy` switches to the registry-policy lane: each workload runs
+// under the named scheduler policy (baseline scheme spec) and diffs against
+// the golden model. The golden model replays FR-FCFS arbitration, so only
+// FR-FCFS-equivalent policies are expected to match — CI uses this lane with
+// "frfcfs" to pin the registry construction path itself.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -97,6 +102,33 @@ int main(int argc, char** argv) {
 
   lazydram::sim::DiffHarness harness;
   unsigned failures = 0;
+
+  if (const std::string policy = arg_value(argc, argv, "--policy"); !policy.empty()) {
+    for (const std::string& workload : workload_names) {
+      const lazydram::sim::DiffResult result = harness.run_policy(workload, policy);
+      if (result.ok()) {
+        std::printf("PASS  %-12s %-12s %8llu requests match golden timeline\n",
+                    result.workload.c_str(), result.scheme.c_str(),
+                    static_cast<unsigned long long>(result.requests));
+      } else {
+        ++failures;
+        std::printf("FAIL  %-12s %-12s\n%s", result.workload.c_str(),
+                    result.scheme.c_str(),
+                    lazydram::sim::DiffHarness::format_divergence(result).c_str());
+      }
+      std::fflush(stdout);
+    }
+    if (failures > 0) {
+      std::fprintf(stderr, "diffcheck: %u (workload, policy) pair(s) diverged\n",
+                   failures);
+      return 1;
+    }
+    std::printf("diffcheck: all %zu workload(s) under policy '%s' match the "
+                "golden timeline\n",
+                workload_names.size(), policy.c_str());
+    return 0;
+  }
+
   for (const std::string& workload : workload_names) {
     for (SchemeKind kind : schemes) {
       const lazydram::core::SchemeSpec spec =
