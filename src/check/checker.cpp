@@ -61,6 +61,8 @@ ProtocolChecker::ProtocolChecker(const GpuConfig& cfg, ChannelId channel,
       opts_(opts),
       banks_(cfg.banks_per_channel),
       group_cas_(cfg.bank_groups_per_channel, 0),
+      tenant_reads_received_(opts.tenant_coverage_caps.size(), 0),
+      tenant_reads_dropped_(opts.tenant_coverage_caps.size(), 0),
       drain_row_(cfg.banks_per_channel, kInvalidRow) {}
 
 void ProtocolChecker::report(ViolationKind kind, Cycle cycle, std::int32_t bank,
@@ -88,7 +90,10 @@ void ProtocolChecker::on_enqueue(const MemRequest& req, Cycle now) {
   (void)now;
   // Mirrors LazyScheduler::on_enqueue -> AmsUnit::on_read_received, so the
   // coverage comparison below uses arithmetically identical counters.
-  if (req.is_read()) ++reads_received_;
+  if (req.is_read()) {
+    ++reads_received_;
+    if (req.tenant < tenant_reads_received_.size()) ++tenant_reads_received_[req.tenant];
+  }
   // A non-approximable request (write *or* precise read) joining a draining
   // row group ends the drain: from here on, drops to this row need the full
   // new-group criteria again.
@@ -287,6 +292,21 @@ void ProtocolChecker::on_drop(const MemRequest& req, Cycle now,
       report(ViolationKind::kCoverageExceeded, now, sbank,
              fmt("new group drop at coverage %.4f >= cap %.4f (%" PRIu64 "/%" PRIu64 ")",
                  coverage, opts_.coverage_cap, reads_dropped_, reads_received_));
+    // Per-tenant budget: the owning tenant's own coverage must also be below
+    // its cap (mirrors AmsUnit::should_drop's tenant check exactly).
+    if (req.tenant < opts_.tenant_coverage_caps.size()) {
+      const std::uint64_t t_reads = tenant_reads_received_[req.tenant];
+      const std::uint64_t t_drops = tenant_reads_dropped_[req.tenant];
+      const double t_coverage =
+          t_reads == 0 ? 0.0
+                       : static_cast<double>(t_drops) / static_cast<double>(t_reads);
+      if (t_coverage >= opts_.tenant_coverage_caps[req.tenant])
+        report(ViolationKind::kCoverageExceeded, now, sbank,
+               fmt("new group drop for tenant %u at its coverage %.4f >= cap %.4f "
+                   "(%" PRIu64 "/%" PRIu64 ")",
+                   req.tenant, t_coverage, opts_.tenant_coverage_caps[req.tenant],
+                   t_drops, t_reads));
+    }
     // The group is admitted as a whole, so it must be entirely approximable
     // reads at admission time.
     if (!queue.row_group_all_approximable(bank, row))
@@ -297,6 +317,7 @@ void ProtocolChecker::on_drop(const MemRequest& req, Cycle now,
 
   (void)queue;
   ++reads_dropped_;
+  if (req.tenant < tenant_reads_dropped_.size()) ++tenant_reads_dropped_[req.tenant];
   // The drain stays armed even when this drop empties the group: the
   // scheduler clears its drain state lazily (only when decide() next runs
   // for the bank and finds nothing left), so an approximable read arriving

@@ -83,6 +83,11 @@ struct CheckerOptions {
   /// notification is a violation.
   bool ams_allowed = false;
   double coverage_cap = 0.10;
+  /// Per-tenant coverage caps (resolved, i.e. inherit already applied).
+  /// When non-empty a new row-group drop additionally requires the owning
+  /// tenant's own coverage to be below its cap — the checker keeps shadow
+  /// per-tenant counters with the same integer arithmetic as the AmsUnit.
+  std::vector<double> tenant_coverage_caps;
   Cycle starvation_bound = kDefaultStarvationBound;
   std::size_t max_recorded = 32;  ///< Violations kept with full detail.
 };
@@ -179,6 +184,9 @@ class ProtocolChecker {
   // the coverage comparison is arithmetically identical to should_drop's).
   std::uint64_t reads_received_ = 0;
   std::uint64_t reads_dropped_ = 0;
+  // Per-tenant shadow counters (sized from opts_.tenant_coverage_caps).
+  std::vector<std::uint64_t> tenant_reads_received_;
+  std::vector<std::uint64_t> tenant_reads_dropped_;
   /// Row a bank is currently draining (continuation drops of an admitted
   /// group are exempt from the new-group coverage pre-check).
   std::vector<RowId> drain_row_;

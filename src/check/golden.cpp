@@ -16,6 +16,7 @@ struct GoldenReq {
   RowId row = kInvalidRow;
   Cycle enqueue = 0;
   bool is_read = true;
+  TenantId tenant = 0;
 };
 
 /// Per-rule timing bounds (running max, like the checker's shadow ledger).
@@ -84,6 +85,14 @@ GoldenTimeline golden_replay(const ChannelRecording& rec, const GpuConfig& cfg) 
   unsigned rr_bank = 0;
   Cycle cur_delay = 0;
 
+  // Per-tenant DMS delay cap: the run clamps the scheduler's delay to each
+  // tenant's QoS cap, so replay must gate with the same effective value.
+  const auto effective_delay = [&rec, &cur_delay](TenantId tenant) {
+    if (tenant < rec.tenant_delay_caps.size())
+      return std::min(cur_delay, rec.tenant_delay_caps[tenant]);
+    return cur_delay;
+  };
+
   std::size_t next_arrival = 0;
   std::size_t next_drop = 0;
   std::size_t next_gate = 0;
@@ -107,7 +116,8 @@ GoldenTimeline golden_replay(const ChannelRecording& rec, const GpuConfig& cfg) 
     while (next_arrival < arrivals.size() &&
            arrivals[next_arrival].enqueue_cycle < now) {
       const RecordedArrival& a = arrivals[next_arrival++];
-      pending.push_back(GoldenReq{a.id, a.bank, a.row, a.enqueue_cycle, a.is_read});
+      pending.push_back(
+          GoldenReq{a.id, a.bank, a.row, a.enqueue_cycle, a.is_read, a.tenant});
     }
     if (pending.empty() && next_arrival == arrivals.size()) {
       out.end_cycle = now;
@@ -150,12 +160,13 @@ GoldenTimeline golden_replay(const ChannelRecording& rec, const GpuConfig& cfg) 
       }
       if (is_hit) {
         if (rec.dms_delay_row_hits && rec.dms_enabled &&
-            now - cand->enqueue < cur_delay)
+            now - cand->enqueue < effective_delay(cand->tenant))
           continue;  // Gated hit: the bank idles.
       } else {
         cand = oldest_for_bank(pending, b);
         if (cand == nullptr) continue;
-        if (rec.dms_enabled && now - cand->enqueue < cur_delay) continue;
+        if (rec.dms_enabled && now - cand->enqueue < effective_delay(cand->tenant))
+          continue;
       }
 
       if (bank.open_row == cand->row) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -39,6 +40,7 @@ struct RecordedArrival {
   Cycle enqueue_cycle = 0;
   bool is_read = true;
   bool approximable = false;
+  TenantId tenant = 0;  ///< Owning client (selects the replayed delay cap).
 };
 
 struct RecordedServe {
@@ -69,6 +71,9 @@ struct ChannelRecording {
   ChannelId channel = 0;
   bool dms_enabled = false;
   bool dms_delay_row_hits = false;
+  /// Per-tenant DMS delay caps (kNeverCycle = uncapped); empty in
+  /// single-tenant runs. Replay applies min(recorded delay, cap[tenant]).
+  std::vector<Cycle> tenant_delay_caps;
 
   std::vector<RecordedArrival> arrivals;  ///< Arrival order.
   std::vector<RecordedServe> serves;
@@ -89,10 +94,16 @@ class ChannelRecorder {
     rec_.dms_delay_row_hits = spec.dms_delay_row_hits;
   }
 
+  /// Captures the per-tenant DMS delay caps the run applies (resolved from
+  /// SchemeParams::tenant_qos); replay clamps the recorded delay per tenant.
+  void set_tenant_delay_caps(std::vector<Cycle> caps) {
+    rec_.tenant_delay_caps = std::move(caps);
+  }
+
   void on_enqueue(const MemRequest& req) {
     rec_.arrivals.push_back(RecordedArrival{req.id, req.loc.bank, req.loc.row,
                                             req.enqueue_cycle, req.is_read(),
-                                            req.approximable});
+                                            req.approximable, req.tenant});
     bump(req.enqueue_cycle);
   }
 

@@ -80,6 +80,18 @@ struct EnergyParams {
   double row_energy_per_act_nj() const { return act_nj + restore_nj + pre_nj; }
 };
 
+/// Per-tenant error-tolerance budgets for multi-tenant runs. Defaults mean
+/// "inherit the global knob", so a vector of default-constructed TenantQos
+/// behaves exactly like the legacy global budgets.
+struct TenantQos {
+  /// AMS prediction-coverage cap for this tenant's approximable reads;
+  /// negative inherits SchemeParams::coverage_cap.
+  double coverage_cap = -1.0;
+  /// Upper bound on the DMS aging delay applied to this tenant's requests;
+  /// kNeverCycle inherits the scheduler's (possibly dynamic) global delay.
+  Cycle dms_delay_cap = kNeverCycle;
+};
+
 /// Parameters of the lazy memory scheduler (Section IV).
 struct SchemeParams {
   // --- DMS ---
@@ -101,6 +113,14 @@ struct SchemeParams {
   unsigned vp_set_radius = 4;      ///< Search +/- R nearby L2 sets.
   bool vp_zero_fill = false;       ///< Ablation: predict zero lines instead.
   std::uint64_t l2_warmup_fills = 512;  ///< AMS disabled until this many L2 fills.
+
+  // --- Multi-tenancy ---
+  /// Per-tenant error-tolerance budgets, indexed by TenantId. Empty (the
+  /// default) keeps the legacy single-tenant semantics: one global coverage
+  /// cap, one global DMS delay. When non-empty the AMS coverage cap and the
+  /// DMS aging delay are partitioned per client (the protocol checker and
+  /// the golden model enforce/honor the same per-tenant budgets).
+  std::vector<TenantQos> tenant_qos;
 };
 
 /// Per-policy knobs for the scheduler plugins behind the SchedulerRegistry

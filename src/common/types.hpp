@@ -19,6 +19,10 @@ using RequestId = std::uint64_t;
 /// Identifies one of the GPU's streaming multiprocessors.
 using SmId = std::uint32_t;
 
+/// Identifies one tenant (client) of a multi-tenant run. Single-workload
+/// runs put everything under tenant 0.
+using TenantId = std::uint32_t;
+
 /// Identifies a memory partition / memory controller (channel).
 using ChannelId = std::uint32_t;
 

@@ -36,14 +36,26 @@ void AmsUnit::tick(Cycle now_mem, bool halted) {
   window_drops_ = 0;
 }
 
+void AmsUnit::set_tenant_qos(const std::vector<TenantQos>& qos) {
+  tenant_caps_.clear();
+  tenant_reads_.assign(qos.size(), 0);
+  tenant_drops_.assign(qos.size(), 0);
+  for (const TenantQos& q : qos)
+    tenant_caps_.push_back(q.coverage_cap < 0.0 ? params_.coverage_cap : q.coverage_cap);
+}
+
 bool AmsUnit::should_drop(const PendingQueue& queue, const MemRequest& candidate) const {
   if (!ready_ || halted_) return false;
 
   // Criterion 1: annotated-approximable global read.
   if (!candidate.is_read() || !candidate.approximable) return false;
 
-  // Criterion 3: cumulative coverage below the user cap.
+  // Criterion 3: cumulative coverage below the user cap — the global cap
+  // first, then the owning tenant's own budget when tenancy is configured.
   if (coverage() >= params_.coverage_cap) return false;
+  if (!tenant_caps_.empty() && candidate.tenant < tenant_caps_.size() &&
+      tenant_coverage(candidate.tenant) >= tenant_caps_[candidate.tenant])
+    return false;
 
   // Criterion 4: the whole pending row group must be approximable reads
   // (never drop a row that pending writes will touch) and its observed RBL
@@ -59,14 +71,16 @@ bool AmsUnit::should_drop(const PendingQueue& queue, const MemRequest& candidate
   return true;
 }
 
-void AmsUnit::on_read_received() {
+void AmsUnit::on_read_received(TenantId tenant) {
   ++reads_received_;
   ++window_reads_;
+  if (tenant < tenant_reads_.size()) ++tenant_reads_[tenant];
 }
 
-void AmsUnit::on_drop() {
+void AmsUnit::on_drop(TenantId tenant) {
   ++reads_dropped_;
   ++window_drops_;
+  if (tenant < tenant_drops_.size()) ++tenant_drops_[tenant];
 }
 
 }  // namespace lazydram::core

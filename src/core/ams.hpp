@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -40,22 +41,50 @@ class AmsUnit {
   void set_ready(bool ready) { ready_ = ready; }
   bool ready() const { return ready_; }
 
+  /// Partitions the coverage cap per client: tenant t's approximable reads
+  /// may only be dropped while t's own coverage (t's drops / t's global
+  /// reads) stays below t's cap. Entries with a negative cap inherit the
+  /// global SchemeParams::coverage_cap. An empty vector (the default)
+  /// restores the legacy single global budget, arithmetically bit-identical
+  /// to pre-tenancy behavior.
+  void set_tenant_qos(const std::vector<TenantQos>& qos);
+
   /// Criteria 1, 3, 4 on the candidate (criterion 2, DMS delay, is the
   /// caller's responsibility). Side-effect free.
   bool should_drop(const PendingQueue& queue, const MemRequest& candidate) const;
 
   /// True iff a drop answer is possible at all right now (fast pre-check).
+  /// The global cap remains necessary for every drop even with per-tenant
+  /// budgets, so this stays a sound over-approximation under tenancy.
   bool may_drop() const { return ready_ && !halted_ && coverage() < params_.coverage_cap; }
 
   // --- Accounting hooks (called by the LazyScheduler notifications) ---
-  void on_read_received();
-  void on_drop();
+  void on_read_received(TenantId tenant = 0);
+  void on_drop(TenantId tenant = 0);
 
   /// Cumulative coverage: dropped reads / global reads received.
   double coverage() const {
     return reads_received_ == 0
                ? 0.0
                : static_cast<double>(reads_dropped_) / static_cast<double>(reads_received_);
+  }
+
+  /// Tenant t's own cumulative coverage (0 when per-tenant budgets are off).
+  double tenant_coverage(TenantId tenant) const {
+    if (tenant >= tenant_reads_.size() || tenant_reads_[tenant] == 0) return 0.0;
+    return static_cast<double>(tenant_drops_[tenant]) /
+           static_cast<double>(tenant_reads_[tenant]);
+  }
+  /// Tenant t's resolved coverage cap (the global cap when budgets are off
+  /// or the entry inherits).
+  double tenant_cap(TenantId tenant) const {
+    return tenant < tenant_caps_.size() ? tenant_caps_[tenant] : params_.coverage_cap;
+  }
+  std::uint64_t tenant_reads_received(TenantId tenant) const {
+    return tenant < tenant_reads_.size() ? tenant_reads_[tenant] : 0;
+  }
+  std::uint64_t tenant_reads_dropped(TenantId tenant) const {
+    return tenant < tenant_drops_.size() ? tenant_drops_[tenant] : 0;
   }
 
   unsigned th_rbl() const { return th_rbl_; }
@@ -78,6 +107,11 @@ class AmsUnit {
 
   std::uint64_t reads_received_ = 0;
   std::uint64_t reads_dropped_ = 0;
+
+  // Per-tenant budgets; all empty unless set_tenant_qos configured them.
+  std::vector<double> tenant_caps_;         ///< Resolved caps (inherit applied).
+  std::vector<std::uint64_t> tenant_reads_;
+  std::vector<std::uint64_t> tenant_drops_;
 
   // Dyn-AMS per-window sampling.
   Cycle window_start_ = 0;

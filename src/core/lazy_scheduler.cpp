@@ -40,15 +40,19 @@ Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
   //    stall like any other — it must show up in the stall trace.
   if (bank.row_open) {
     if (const MemRequest* hit = queue.oldest_for_row(bank.bank, bank.open_row)) {
+      const Cycle hit_delay = effective_delay(hit->tenant);
       if (!spec_.dms_delay_row_hits || !spec_.dms_enabled ||
-          dms_.allows(hit->enqueue_cycle, now)) {
-        trace_stall_end(bank.bank, now);
+          now - hit->enqueue_cycle >= hit_delay) {
+        // Close the stall only if it belongs to this hit: a different
+        // stalled request (the bank's gated miss candidate) stays gated
+        // while hits stream past it, so its interval must stay open.
+        if (stalled_[bank.bank] == hit->id) trace_stall_end(bank.bank, now);
         return Decision::serve(hit->id);
       }
-      trace_stall_begin(bank.bank, hit->id, now);
-      // allows() flips exactly at enqueue + delay; until then (and absent
+      trace_stall_begin(bank.bank, hit->id, now, hit_delay);
+      // The gate flips exactly at enqueue + delay; until then (and absent
       // queue/delay changes) this answer cannot change.
-      return Decision::gated(hit->enqueue_cycle + dms_.current_delay());
+      return Decision::gated(hit->enqueue_cycle + hit_delay);
     }
   }
 
@@ -59,10 +63,11 @@ Decision LazyScheduler::decide(const PendingQueue& queue, const BankView& bank,
     return Decision::none();
   }
 
-  if (spec_.dms_enabled && !dms_.allows(cand->enqueue_cycle, now)) {
-    trace_stall_begin(bank.bank, cand->id, now);
+  const Cycle cand_delay = effective_delay(cand->tenant);
+  if (spec_.dms_enabled && now - cand->enqueue_cycle < cand_delay) {
+    trace_stall_begin(bank.bank, cand->id, now, cand_delay);
     // Age gate: kNone is stable until the candidate reaches enqueue + delay.
-    return Decision::gated(cand->enqueue_cycle + dms_.current_delay());
+    return Decision::gated(cand->enqueue_cycle + cand_delay);
   }
   trace_stall_end(bank.bank, now);
 
@@ -94,7 +99,7 @@ bool LazyScheduler::may_drop() const {
 }
 
 void LazyScheduler::on_enqueue(const MemRequest& req) {
-  if (req.is_read()) ams_.on_read_received();
+  if (req.is_read()) ams_.on_read_received(req.tenant);
 }
 
 void LazyScheduler::on_serve(const MemRequest& req) {
@@ -108,7 +113,7 @@ void LazyScheduler::on_drop(const MemRequest& req) {
   // The drain branch of decide() drops without touching the stall state, so
   // a stalled request swallowed by a row-group drop is closed out here.
   if (stalled_[req.loc.bank] == req.id) trace_stall_end(req.loc.bank, trace_now_);
-  ams_.on_drop();
+  ams_.on_drop(req.tenant);
   if (draining_[req.loc.bank] == kInvalidRow) {
     draining_[req.loc.bank] = req.loc.row;
     ++draining_count_;
@@ -119,6 +124,12 @@ void LazyScheduler::on_drop(const MemRequest& req) {
 
 void LazyScheduler::set_ams_ready(bool ready) { ams_.set_ready(ready); }
 
+void LazyScheduler::set_tenant_qos(const std::vector<TenantQos>& qos) {
+  ams_.set_tenant_qos(qos);
+  delay_caps_.clear();
+  for (const TenantQos& q : qos) delay_caps_.push_back(q.dms_delay_cap);
+}
+
 void LazyScheduler::set_telemetry(telemetry::Tracer* tracer, ChannelId channel) {
   tracer_ = tracer;
   channel_ = channel;
@@ -126,13 +137,21 @@ void LazyScheduler::set_telemetry(telemetry::Tracer* tracer, ChannelId channel) 
   ams_.set_telemetry(tracer, channel);
 }
 
-void LazyScheduler::trace_stall_begin(BankId bank, RequestId req, Cycle now) {
-  if (!observing() || stalled_[bank] != kNoStall) return;
+void LazyScheduler::trace_stall_begin(BankId bank, RequestId req, Cycle now, Cycle delay) {
+  if (!observing() || stalled_[bank] == req) return;
+  // The bank's gated candidate can switch identity while the old one is
+  // still queued (a gated row hit overtakes a gated miss candidate, or —
+  // with per-tenant delay caps — tenants with different effective delays
+  // alternate). Close the previous request's interval at `now` before
+  // opening the new one, so stall_begin_/stall_accounted_ always describe
+  // the request in stalled_; silently keeping the old interval open would
+  // attribute the new request's gated cycles to the old id.
+  if (stalled_[bank] != kNoStall) trace_stall_end(bank, now);
   stalled_[bank] = req;
   stall_begin_[bank] = now;
   stall_accounted_[bank] = now;
   if (tracer_ != nullptr && tracer_->enabled())
-    tracer_->dms_stall_begin(now, channel_, bank, req, dms_.current_delay());
+    tracer_->dms_stall_begin(now, channel_, bank, req, delay);
 }
 
 void LazyScheduler::trace_stall_end(BankId bank, Cycle now) {

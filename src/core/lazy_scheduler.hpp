@@ -48,6 +48,15 @@ class LazyScheduler : public Scheduler {
   /// L2 warm-up gate for the AMS unit (set by the owning memory partition).
   void set_ams_ready(bool ready);
 
+  /// Partitions the error-tolerance budgets per tenant: each client's AMS
+  /// coverage cap becomes its own budget (forwarded to the AmsUnit) and its
+  /// DMS aging delay is clamped to qos[t].dms_delay_cap — a request's
+  /// effective delay is min(global delay, its tenant's cap). Caps are static
+  /// for a run, so the gated() horizon/memo contract is unchanged: the
+  /// effective delay only moves when the global delay moves. An empty vector
+  /// (the default) keeps the legacy global budgets bit-identically.
+  void set_tenant_qos(const std::vector<TenantQos>& qos);
+
   /// Routes DMS-stall, delay-change and Th_RBL-change events through
   /// `tracer` (nullable to detach). Tracing never feeds back into
   /// scheduling decisions, so enabling it cannot perturb a run.
@@ -76,8 +85,17 @@ class LazyScheduler : public Scheduler {
   }
 
  private:
-  void trace_stall_begin(BankId bank, RequestId req, Cycle now);
+  void trace_stall_begin(BankId bank, RequestId req, Cycle now, Cycle delay);
   void trace_stall_end(BankId bank, Cycle now);
+
+  /// DMS delay applied to `tenant`'s requests: the global (possibly
+  /// dynamic) delay clamped to the tenant's cap when tenancy is configured.
+  Cycle effective_delay(TenantId tenant) const {
+    const Cycle d = dms_.current_delay();
+    if (tenant < delay_caps_.size() && delay_caps_[tenant] < d)
+      return delay_caps_[tenant];
+    return d;
+  }
 
   /// True when any observability consumer (event tracer, lifecycle
   /// collector, per-bank window stats) wants stall intervals tracked.
@@ -89,6 +107,10 @@ class LazyScheduler : public Scheduler {
   SchemeSpec spec_;
   DmsUnit dms_;
   AmsUnit ams_;
+
+  /// Per-tenant DMS delay caps (kNeverCycle = uncapped); empty unless
+  /// set_tenant_qos configured tenancy.
+  std::vector<Cycle> delay_caps_;
 
   /// Per-bank row currently being drained by an AMS group drop
   /// (kInvalidRow if none). Cleared lazily from decide(), which is

@@ -50,6 +50,12 @@ void MemoryImage::write(Addr addr, const std::uint8_t* data, std::size_t n) {
   }
 }
 
+void MemoryImage::blit_from(const MemoryImage& src, Addr bias) {
+  LD_ASSERT_MSG(bias % kPageBytes == 0, "blit bias must be page-aligned");
+  for (const auto& [base, page] : src.pages_)
+    write(base + bias, page->data(), kPageBytes);
+}
+
 float MemoryImage::read_f32(Addr addr) const {
   float v;
   std::uint8_t buf[4];
@@ -96,6 +102,7 @@ void FunctionalMemory::read_line(Addr line_addr, std::uint8_t out[kLineBytes]) c
 }
 
 void MemView::read_small(Addr addr, std::uint8_t* out, std::size_t n) const {
+  addr += bias_;
   if (overlay_ != nullptr) {
     const auto it = overlay_->find(line_base(addr));
     if (it != overlay_->end()) {

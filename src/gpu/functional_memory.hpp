@@ -37,6 +37,12 @@ class MemoryImage {
   void read(Addr addr, std::uint8_t* out, std::size_t n) const;
   void write(Addr addr, const std::uint8_t* data, std::size_t n);
 
+  /// Copies every allocated page of `src` into this image at `bias` bytes
+  /// offset. `bias` must be page-aligned (tenant windows are GiB-aligned).
+  /// Pages write disjoint regions, so the result is iteration-order
+  /// independent.
+  void blit_from(const MemoryImage& src, Addr bias);
+
   float read_f32(Addr addr) const;
   void write_f32(Addr addr, float value);
   std::uint32_t read_u32(Addr addr) const;
@@ -84,13 +90,18 @@ class FunctionalMemory : public core::LineReader {
 /// see DESIGN.md).
 class MemView {
  public:
-  MemView(MemoryImage& storage, const ApproxOverlay* overlay)
-      : storage_(storage), overlay_(overlay) {}
+  MemView(MemoryImage& storage, const ApproxOverlay* overlay, Addr bias = 0)
+      : storage_(storage), overlay_(overlay), bias_(bias) {}
+
+  /// A view onto the same storage/overlay with `bias` added to every
+  /// address. Lets a tenant's inner functional model run unmodified in its
+  /// own address space while the data lives in the tenant's global window.
+  MemView with_bias(Addr bias) const { return MemView(storage_, overlay_, bias_ + bias); }
 
   float read_f32(Addr addr) const;
-  void write_f32(Addr addr, float value) { storage_.write_f32(addr, value); }
+  void write_f32(Addr addr, float value) { storage_.write_f32(addr + bias_, value); }
   std::uint32_t read_u32(Addr addr) const;
-  void write_u32(Addr addr, std::uint32_t value) { storage_.write_u32(addr, value); }
+  void write_u32(Addr addr, std::uint32_t value) { storage_.write_u32(addr + bias_, value); }
 
  private:
   /// Reads `n` <= 4 bytes honoring the overlay. `addr` must not straddle a
@@ -100,6 +111,7 @@ class MemView {
 
   MemoryImage& storage_;
   const ApproxOverlay* overlay_;
+  Addr bias_ = 0;  ///< Added to every address (overlay keys are post-bias).
 };
 
 }  // namespace lazydram::gpu

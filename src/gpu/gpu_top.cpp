@@ -39,6 +39,17 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
 
   if (check != nullptr && !check->active()) check = nullptr;
 
+  // Multi-tenant QoS: resolve inherit-marked caps once so every per-channel
+  // component (AMS budget, checker shadow counters, recorder replay caps)
+  // sees identical resolved vectors.
+  std::vector<double> tenant_cov_caps;
+  std::vector<Cycle> tenant_delay_caps;
+  for (const TenantQos& q : cfg_.scheme.tenant_qos) {
+    tenant_cov_caps.push_back(q.coverage_cap < 0.0 ? cfg_.scheme.coverage_cap
+                                                   : q.coverage_cap);
+    tenant_delay_caps.push_back(q.dms_delay_cap);
+  }
+
   partitions_.reserve(cfg.num_channels);
   checkers_.assign(cfg.num_channels, nullptr);
   for (ChannelId ch = 0; ch < cfg.num_channels; ++ch) {
@@ -48,8 +59,12 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
     const bool hit_first = sched->hit_first();
     if (tracer_ != nullptr && p.lazy != nullptr) p.lazy->set_telemetry(tracer_, ch);
     if (lifecycle_ != nullptr && p.lazy != nullptr) p.lazy->set_lifecycle(lifecycle_);
+    if (p.lazy != nullptr && !cfg_.scheme.tenant_qos.empty())
+      p.lazy->set_tenant_qos(cfg_.scheme.tenant_qos);
     p.mc = std::make_unique<MemoryController>(cfg_, ch, mapper_, std::move(sched),
                                               row_policy);
+    if (workload_.num_tenants() > 1)
+      p.mc->enable_tenant_accounting(workload_.num_tenants());
     if (tracer_ != nullptr) p.mc->set_tracer(tracer_);
     if (lifecycle_ != nullptr) p.mc->set_lifecycle(lifecycle_);
     if (check != nullptr) {
@@ -62,6 +77,7 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
         opts.hit_first = hit_first;
         opts.ams_allowed = p.lazy != nullptr && p.lazy->spec().ams_enabled;
         opts.coverage_cap = cfg.scheme.coverage_cap;
+        if (opts.ams_allowed) opts.tenant_coverage_caps = tenant_cov_caps;
         check::ProtocolChecker* ck = check->add_checker(cfg_, ch, opts);
         ck->set_tracer(tracer_);
         p.mc->set_checker(ck);
@@ -70,6 +86,7 @@ GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
       if (check->config().record) {
         check::ChannelRecorder* rec = check->add_recorder(ch);
         if (p.lazy != nullptr) rec->set_spec(p.lazy->spec());
+        if (!tenant_delay_caps.empty()) rec->set_tenant_delay_caps(tenant_delay_caps);
         p.mc->set_recorder(rec);
       }
     }
@@ -86,6 +103,19 @@ std::uint64_t GpuTop::instructions() const {
   std::uint64_t total = 0;
   for (const auto& sm : sms_) total += sm->instructions();
   return total;
+}
+
+std::uint64_t GpuTop::tenant_instructions(TenantId t) const {
+  std::uint64_t total = 0;
+  for (const auto& sm : sms_) total += sm->tenant_instructions(t);
+  return total;
+}
+
+Cycle GpuTop::tenant_finish_cycle(TenantId t) const {
+  Cycle last = 0;
+  for (const auto& sm : sms_)
+    if (sm->tenant_finish_cycle(t) > last) last = sm->tenant_finish_cycle(t);
+  return last;
 }
 
 bool GpuTop::finished() const {
@@ -118,6 +148,7 @@ void GpuTop::handle_request_packet(Partition& p, unsigned idx, const icnt::Packe
     req.id = next_request_id_++;
     req.line_addr = pkt.line_addr;
     req.kind = AccessKind::kWrite;
+    req.tenant = pkt.tenant;
     p.pending_mc.push_back(req);
     return;
   }
@@ -150,6 +181,7 @@ void GpuTop::handle_request_packet(Partition& p, unsigned idx, const icnt::Packe
   req.kind = AccessKind::kRead;
   req.approximable = pkt.approximable;
   req.src_sm = pkt.src_sm;
+  req.tenant = pkt.tenant;
   // Open the lifecycle record before enqueue so the controller's hook finds
   // it (the sampling decision is made inside the collector).
   if (lifecycle_ != nullptr)
@@ -219,6 +251,9 @@ void GpuTop::partition_tick(Partition& p, unsigned idx, bool mem_ticked) {
       wb.id = next_request_id_++;
       wb.line_addr = fill.evicted_line;
       wb.kind = AccessKind::kWrite;
+      // The evicting request's tenant is unrelated to the victim line; the
+      // writeback bills the tenant that owns the evicted address.
+      wb.tenant = workload_.tenant_of_addr(fill.evicted_line);
       p.pending_mc.push_back(wb);
     }
 
@@ -276,6 +311,16 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
   hub.add_counter("gpu.instructions", [this] { return instructions(); });
   hub.add_gauge("gpu.ipc", [this] { return ipc(); });
 
+  if (num_tenants() > 1) {
+    for (TenantId t = 0; t < num_tenants(); ++t) {
+      const std::string pfx = "gpu.tenant" + std::to_string(t) + ".";
+      hub.add_counter(pfx + "instructions",
+                      [this, t] { return tenant_instructions(t); });
+      hub.add_counter(pfx + "finish_cycle",
+                      [this, t] { return tenant_finish_cycle(t); });
+    }
+  }
+
   for (ChannelId ch = 0; ch < num_channels(); ++ch) {
     const MemoryController* mc = partitions_[ch].mc.get();
     hub.add_counter(channel_stat("mem", ch, "reads_received"),
@@ -294,6 +339,17 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
                   [mc] { return mc->read_latency().mean(); });
     hub.add_histogram(channel_stat("mem", ch, "read_latency"),
                       &mc->read_latency_hist());
+    for (TenantId t = 0; t < mc->num_tenants(); ++t) {
+      const std::string pfx = "tenant" + std::to_string(t) + ".";
+      hub.add_counter(channel_stat("mem", ch, pfx + "reads_received"),
+                      [mc, t] { return mc->tenant_reads_received(t); });
+      hub.add_counter(channel_stat("mem", ch, pfx + "reads_served"),
+                      [mc, t] { return mc->tenant_reads_served(t); });
+      hub.add_counter(channel_stat("mem", ch, pfx + "reads_dropped"),
+                      [mc, t] { return mc->tenant_reads_dropped(t); });
+      hub.add_histogram(channel_stat("mem", ch, pfx + "read_latency"),
+                        &mc->tenant_read_latency_hist(t));
+    }
 
     const dram::DramChannel* dc = &mc->channel();
     hub.add_counter(channel_stat("dram", ch, "activations"),

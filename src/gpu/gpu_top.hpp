@@ -75,6 +75,13 @@ class GpuTop {
                : static_cast<double>(instructions()) / static_cast<double>(core_cycle_);
   }
 
+  // --- Per-tenant results (single-workload runs have one tenant, id 0) ---
+  unsigned num_tenants() const { return workload_.num_tenants(); }
+  std::uint64_t tenant_instructions(TenantId t) const;
+  /// Core cycle the tenant's last warp retired, max over SMs (0 if none
+  /// finished yet).
+  Cycle tenant_finish_cycle(TenantId t) const;
+
   unsigned num_channels() const { return static_cast<unsigned>(partitions_.size()); }
   const MemoryController& controller(ChannelId ch) const { return *partitions_[ch].mc; }
   const cache::Cache& l2(ChannelId ch) const { return partitions_[ch].l2; }

@@ -12,12 +12,16 @@ Sm::Sm(const GpuConfig& cfg, SmId id, const workloads::Workload& workload,
       mapper_(mapper),
       l1_(cfg.l1),
       mshr_(cfg.l1.mshr_entries),
+      tenant_instructions_(workload.num_tenants(), 0),
+      tenant_finish_cycle_(workload.num_tenants(), 0),
       next_packet_id_(static_cast<RequestId>(id) << 40) {}
 
 void Sm::assign_warp(unsigned global_warp_id) {
   LD_ASSERT_MSG(warps_.size() < cfg_.max_warps_per_sm, "SM warp slots exhausted");
   Warp w;
   w.global_id = global_warp_id;
+  w.tenant = workload_.tenant_of_warp(global_warp_id);
+  LD_ASSERT_MSG(w.tenant < tenant_instructions_.size(), "warp tenant out of range");
   warps_.push_back(std::move(w));
   in_active_.push_back(1);
   active_.push_back(static_cast<unsigned>(warps_.size() - 1));
@@ -60,6 +64,7 @@ Sm::IssueResult Sm::issue_memory_line(unsigned warp_idx, Cycle now,
     pkt.line_addr = line;
     pkt.kind = AccessKind::kWrite;
     pkt.src_sm = id_;
+    pkt.tenant = w.tenant;
     req_xbar.push(id_, mapper_.channel_of(line), pkt);
     return IssueResult::kIssued;
   }
@@ -94,6 +99,7 @@ Sm::IssueResult Sm::issue_memory_line(unsigned warp_idx, Cycle now,
     pkt.kind = AccessKind::kRead;
     pkt.approximable = w.op.approximable;
     pkt.src_sm = id_;
+    pkt.tenant = w.tenant;
     pkt.inject_cycle = now;  // Lifecycle stamp: crossbar entry.
     req_xbar.push(id_, mapper_.channel_of(line), pkt);
   }
@@ -117,6 +123,7 @@ Sm::IssueResult Sm::try_issue(unsigned warp_idx, Cycle now, icnt::Crossbar& req_
       if (w.outstanding == 0) {
         w.done = true;
         ++done_warps_;
+        if (now > tenant_finish_cycle_[w.tenant]) tenant_finish_cycle_[w.tenant] = now;
       }
       return IssueResult::kSleep;  // Wakes via reply if loads outstanding.
     }
@@ -135,6 +142,7 @@ Sm::IssueResult Sm::try_issue(unsigned warp_idx, Cycle now, icnt::Crossbar& req_
     w.busy_until = now + w.op.cycles;
     ++w.instructions;
     ++instructions_;
+    ++tenant_instructions_[w.tenant];
     ++w.step;
     w.has_op = false;
     return IssueResult::kIssued;  // Stays active; timer fires when scanned busy.
@@ -151,6 +159,7 @@ Sm::IssueResult Sm::try_issue(unsigned warp_idx, Cycle now, icnt::Crossbar& req_
   if (w.lines_issued == w.lines.size()) {
     ++w.instructions;
     ++instructions_;
+    ++tenant_instructions_[w.tenant];
     ++w.step;
     w.has_op = false;
   }

@@ -55,6 +55,12 @@ class Sm {
   std::uint64_t l1_miss_stalls() const { return stall_cycles_; }
   const cache::Cache& l1() const { return l1_; }
 
+  // --- Per-tenant accounting (sized from workload.num_tenants()) ---
+  std::uint64_t tenant_instructions(TenantId t) const { return tenant_instructions_[t]; }
+  /// Core cycle the tenant's last resident warp on this SM retired (0 if the
+  /// tenant has no warps here or none have finished yet).
+  Cycle tenant_finish_cycle(TenantId t) const { return tenant_finish_cycle_[t]; }
+
  private:
   enum class IssueResult {
     kIssued,       ///< Used the issue slot.
@@ -95,6 +101,8 @@ class Sm {
 
   std::uint64_t instructions_ = 0;
   std::uint64_t stall_cycles_ = 0;
+  std::vector<std::uint64_t> tenant_instructions_;
+  std::vector<Cycle> tenant_finish_cycle_;
   RequestId next_packet_id_;
 };
 

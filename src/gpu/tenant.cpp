@@ -1,0 +1,148 @@
+#include "gpu/tenant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "workloads/registry.hpp"
+
+namespace lazydram::gpu {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("tenant spec: " + what);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& val) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(val, &used);
+    if (used != val.size()) fail("trailing junk in " + key + "=" + val);
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail("expected a number in " + key + "=" + val);
+  } catch (const std::out_of_range&) {
+    fail("value out of range in " + key + "=" + val);
+  }
+}
+
+double parse_f64(const std::string& key, const std::string& val) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(val, &used);
+    if (used != val.size()) fail("trailing junk in " + key + "=" + val);
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail("expected a number in " + key + "=" + val);
+  } catch (const std::out_of_range&) {
+    fail("value out of range in " + key + "=" + val);
+  }
+}
+
+bool is_known_kernel(const std::string& name) {
+  const std::vector<std::string> names = workloads::all_workload_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+TenantSpec parse_tenant_spec(const std::string& text) {
+  if (text.empty()) fail("empty tenant");
+  const std::size_t colon = text.find(':');
+  const std::string kernels_part = text.substr(0, colon);
+  TenantSpec spec;
+  for (const std::string& kernel : split(kernels_part, '+')) {
+    if (kernel.empty()) fail("empty kernel name in \"" + text + "\"");
+    if (!is_known_kernel(kernel)) fail("unknown kernel \"" + kernel + "\"");
+    spec.kernels.push_back(kernel);
+  }
+
+  if (colon == std::string::npos) return spec;
+  for (const std::string& opt : split(text.substr(colon + 1), ',')) {
+    if (opt.empty()) fail("empty option in \"" + text + "\"");
+    const std::size_t eq = opt.find('=');
+    if (eq == std::string::npos) fail("option without '=': \"" + opt + "\"");
+    const std::string key = opt.substr(0, eq);
+    const std::string val = opt.substr(eq + 1);
+    if (key == "warps") {
+      spec.warps = static_cast<unsigned>(parse_u64(key, val));
+    } else if (key == "repeat") {
+      spec.repeat = static_cast<unsigned>(parse_u64(key, val));
+      if (spec.repeat == 0) fail("repeat must be >= 1");
+    } else if (key == "think") {
+      spec.think = parse_u64(key, val);
+    } else if (key == "approx") {
+      const std::uint64_t v = parse_u64(key, val);
+      if (v > 1) fail("approx must be 0 or 1");
+      spec.approx = v == 1;
+    } else if (key == "cap") {
+      spec.coverage_cap = parse_f64(key, val);
+      if (spec.coverage_cap < 0.0 || spec.coverage_cap > 1.0)
+        fail("cap must be in [0, 1]");
+    } else if (key == "delay_cap") {
+      spec.dms_delay_cap = parse_u64(key, val);
+    } else if (key == "name") {
+      if (val.empty()) fail("empty name");
+      spec.name = val;
+    } else {
+      fail("unknown option \"" + key + "\"");
+    }
+  }
+  return spec;
+}
+
+std::vector<TenantSpec> parse_tenant_specs(const std::string& text) {
+  std::vector<TenantSpec> specs;
+  for (const std::string& one : split(text, ';')) specs.push_back(parse_tenant_spec(one));
+  return specs;
+}
+
+TenantSet::TenantSet(std::vector<TenantSpec> specs, std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {
+  LD_ASSERT_MSG(!specs_.empty(), "a tenant set needs at least one tenant");
+  mix_ = std::make_unique<workloads::MixWorkload>(specs_, seed_);
+  // Fill in the names the mix resolved (defaulted from the kernel list) so
+  // spec(t).name is always displayable.
+  for (TenantId t = 0; t < size(); ++t) specs_[t].name = mix_->tenant(t).name;
+}
+
+bool TenantSet::has_explicit_qos() const {
+  for (const TenantSpec& s : specs_)
+    if (s.coverage_cap >= 0.0 || s.dms_delay_cap != kNeverCycle) return true;
+  return false;
+}
+
+void TenantSet::apply_qos(GpuConfig& cfg) const {
+  if (size() == 1 && !has_explicit_qos()) return;  // Legacy single-tenant path.
+  cfg.scheme.tenant_qos.clear();
+  for (const TenantSpec& s : specs_) {
+    TenantQos q;
+    q.coverage_cap = s.coverage_cap;
+    q.dms_delay_cap = s.dms_delay_cap;
+    cfg.scheme.tenant_qos.push_back(q);
+  }
+}
+
+std::unique_ptr<workloads::MixWorkload> TenantSet::alone_workload(TenantId t) const {
+  LD_ASSERT(t < size());
+  return std::make_unique<workloads::MixWorkload>(
+      std::vector<TenantSpec>{specs_[t]}, seed_);
+}
+
+}  // namespace lazydram::gpu

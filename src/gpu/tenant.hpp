@@ -1,0 +1,76 @@
+// Multi-tenant run assembly: the tenant spec grammar and the TenantSet that
+// turns parsed specs into a MixWorkload plus the per-tenant QoS budgets the
+// machine enforces.
+//
+// Spec grammar (one string, tenants separated by ';'):
+//
+//   tenant  := kernels [":" option ("," option)*]
+//   kernels := KERNEL ("+" KERNEL)*          sequential phases, registry names
+//   option  := "warps=" N                    warp budget (default: largest grid)
+//            | "repeat=" N                   closed-loop iterations (default 1)
+//            | "think=" CYCLES               mean think-time per iteration
+//            | "approx=" 0|1                 honor approximable annotations
+//            | "cap=" FRACTION               per-tenant AMS coverage cap
+//            | "delay_cap=" CYCLES           per-tenant DMS delay cap
+//            | "name=" LABEL                 display name
+//
+// Example: "SCP:warps=256,cap=0.05;BP+KM:warps=128,think=2000,approx=0"
+//
+// Malformed specs throw std::invalid_argument with a message naming the
+// offending token (benches surface it as a usage error; tests assert on it).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "workloads/mix.hpp"
+
+namespace lazydram::gpu {
+
+using TenantSpec = workloads::MixTenant;
+
+/// Parses one tenant ("SCP:warps=64,cap=0.05"). Throws std::invalid_argument.
+TenantSpec parse_tenant_spec(const std::string& text);
+
+/// Parses a ';'-separated tenant list. Throws std::invalid_argument.
+std::vector<TenantSpec> parse_tenant_specs(const std::string& text);
+
+/// A set of clients sharing the machine: owns the MixWorkload multiplexing
+/// their op streams and knows how to install their QoS budgets into a
+/// GpuConfig and how to build each tenant's alone-run baseline.
+class TenantSet {
+ public:
+  /// `seed` feeds the mix's think-time RNG.
+  explicit TenantSet(std::vector<TenantSpec> specs, std::uint64_t seed = 1);
+
+  unsigned size() const { return static_cast<unsigned>(specs_.size()); }
+  const TenantSpec& spec(TenantId t) const { return specs_[t]; }
+  workloads::MixWorkload& workload() { return *mix_; }
+  const workloads::MixWorkload& workload() const { return *mix_; }
+
+  /// True when any tenant carries an explicit QoS budget (coverage or delay
+  /// cap) — the condition under which apply_qos installs budgets at all for
+  /// single-tenant sets.
+  bool has_explicit_qos() const;
+
+  /// Installs per-tenant budgets into cfg.scheme.tenant_qos. Multi-tenant
+  /// sets always install (unspecified caps inherit the globals); a single
+  /// tenant with no explicit caps installs nothing, keeping that run on the
+  /// legacy single-workload path bit-identically.
+  void apply_qos(GpuConfig& cfg) const;
+
+  /// Tenant `t`'s alone-run baseline: the same spec as the only client (and
+  /// therefore at window bias 0), same seed. Slowdown_t = shared finish /
+  /// alone finish.
+  std::unique_ptr<workloads::MixWorkload> alone_workload(TenantId t) const;
+
+ private:
+  std::vector<TenantSpec> specs_;
+  std::uint64_t seed_;
+  std::unique_ptr<workloads::MixWorkload> mix_;
+};
+
+}  // namespace lazydram::gpu

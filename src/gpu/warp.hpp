@@ -58,6 +58,7 @@ struct WarpOp {
 /// Execution state of one warp resident on an SM.
 struct Warp {
   unsigned global_id = 0;      ///< Grid-wide warp index (workload coordinate).
+  TenantId tenant = 0;         ///< Owning client (workload tenant_of_warp).
   unsigned step = 0;           ///< Next op index in the workload's stream.
   unsigned outstanding = 0;    ///< Loads in flight (scoreboard).
   Cycle busy_until = 0;        ///< kCompute occupancy.

@@ -26,6 +26,7 @@ struct Packet {
   bool approximable = false;  ///< Request: annotated-approximable load.
   bool approximate = false;   ///< Reply: value was VP-synthesized.
   SmId src_sm = 0;            ///< Originating SM (for reply routing).
+  TenantId tenant = 0;        ///< Owning client (0 in single-tenant runs).
 
   // Lifecycle-tracing stamps (core cycles; observational only, never
   // consulted by the switch or the receivers' logic).

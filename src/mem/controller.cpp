@@ -39,10 +39,12 @@ void MemoryController::enqueue(MemRequest req, Cycle now_mem) {
   req.enqueue_cycle = now_mem;
   req.loc = mapper_.map(req.line_addr);
   LD_ASSERT_MSG(req.loc.channel == id_, "request routed to wrong channel");
-  if (req.is_read())
+  if (req.is_read()) {
     ++reads_received_;
-  else
+    if (req.tenant < tenant_reads_received_.size()) ++tenant_reads_received_[req.tenant];
+  } else {
     ++writes_received_;
+  }
   scheduler_->on_enqueue(req);
   if (lifecycle_ != nullptr) lifecycle_->on_enqueue(req, id_, now_mem);
   if (checker_ != nullptr) checker_->on_enqueue(req, now_mem);
@@ -68,6 +70,12 @@ void MemoryController::complete_bursts(Cycle now) {
       ++reads_served_;
       read_latency_.add(static_cast<double>(it->done - it->req.enqueue_cycle));
       read_latency_hist_.add(it->done - it->req.enqueue_cycle);
+      if (it->req.tenant < tenant_reads_served_.size()) {
+        const TenantId t = it->req.tenant;
+        ++tenant_reads_served_[t];
+        tenant_latency_sum_[t] += it->done - it->req.enqueue_cycle;
+        tenant_latency_hist_[t].add(it->done - it->req.enqueue_cycle);
+      }
       if (lifecycle_ != nullptr) lifecycle_->on_data_return(it->req.id, it->done);
       replies_.push_back(MemReply{it->req.id, it->req.line_addr, it->req.src_sm,
                                   /*approximate=*/false, it->done});
@@ -342,6 +350,8 @@ void MemoryController::tick(Cycle now_mem) {
         drop_wake_ = 0;
         ++reads_dropped_;
         ++bank_drops_[dropped.loc.bank];
+        if (dropped.tenant < tenant_reads_dropped_.size())
+          ++tenant_reads_dropped_[dropped.tenant];
         scheduler_->on_drop(dropped);
         // After on_drop so the scheduler's stall closeout reaches the
         // collector before the record finalizes.
@@ -393,6 +403,29 @@ void MemoryController::finalize() {
   if (sampler_ != nullptr) sampler_->flush(telemetry_probe(end_mem_));
 }
 
+void MemoryController::enable_tenant_accounting(unsigned num_tenants) {
+  tenant_reads_received_.assign(num_tenants, 0);
+  tenant_reads_served_.assign(num_tenants, 0);
+  tenant_reads_dropped_.assign(num_tenants, 0);
+  tenant_latency_sum_.assign(num_tenants, 0);
+  tenant_latency_hist_.assign(num_tenants, Histogram{4096});
+  attach_tenant_probe();
+}
+
+void MemoryController::attach_tenant_probe() {
+  // Per-tenant window columns need both features on; enable_tenant_accounting
+  // and enable_window_sampling can arrive in either order.
+  if (sampler_ == nullptr || tenant_reads_served_.empty()) return;
+  sampler_->set_tenant_probe(
+      num_tenants(), [this](std::vector<telemetry::TenantProbe>& out) {
+        for (std::size_t t = 0; t < out.size(); ++t) {
+          out[t].reads_received = tenant_reads_received_[t];
+          out[t].reads_served = tenant_reads_served_[t];
+          out[t].drops = tenant_reads_dropped_[t];
+        }
+      });
+}
+
 void MemoryController::enable_window_sampling(Cycle window, telemetry::Tracer* tracer) {
   sampler_ = std::make_unique<telemetry::WindowSampler>(id_, window, tracer);
   sampler_->set_power_scale(watts_per_nj_per_cycle_);
@@ -414,6 +447,7 @@ void MemoryController::enable_window_sampling(Cycle window, telemetry::Tracer* t
           }
         }
       });
+  attach_tenant_probe();
 }
 
 void MemoryController::fill_channel_counters(telemetry::WindowProbe& p,

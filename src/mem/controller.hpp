@@ -82,6 +82,22 @@ class MemoryController {
   /// always on, feeds the run-level p50/p95/p99.
   const Histogram& read_latency_hist() const { return read_latency_hist_; }
 
+  // --- Per-tenant accounting (active after enable_tenant_accounting) ---
+
+  /// Sizes the per-tenant counters/latency histograms; requests then account
+  /// under their MemRequest::tenant tag. Strictly observational.
+  void enable_tenant_accounting(unsigned num_tenants);
+  unsigned num_tenants() const { return static_cast<unsigned>(tenant_reads_served_.size()); }
+  std::uint64_t tenant_reads_received(TenantId t) const { return tenant_reads_received_[t]; }
+  std::uint64_t tenant_reads_served(TenantId t) const { return tenant_reads_served_[t]; }
+  std::uint64_t tenant_reads_dropped(TenantId t) const { return tenant_reads_dropped_[t]; }
+  /// Integer sum of (done - enqueue) over the tenant's served reads; with
+  /// the histogram below it reconciles exactly against the aggregate.
+  std::uint64_t tenant_read_latency_sum(TenantId t) const { return tenant_latency_sum_[t]; }
+  const Histogram& tenant_read_latency_hist(TenantId t) const {
+    return tenant_latency_hist_[t];
+  }
+
   /// Ends the run: folds still-open rows into the RBL histograms and closes
   /// the sampler's final partial window.
   void finalize();
@@ -149,6 +165,10 @@ class MemoryController {
   /// once-per-tick probe in tick(). Policy gauges are filled separately.
   void fill_channel_counters(telemetry::WindowProbe& p, Cycle now) const;
 
+  /// Wires the sampler's per-tenant columns once both window sampling and
+  /// tenant accounting are enabled (call-order independent).
+  void attach_tenant_probe();
+
   ChannelId id_;
   const AddressMapper& mapper_;
   RowPolicy row_policy_;
@@ -211,6 +231,14 @@ class MemoryController {
   std::uint64_t reads_dropped_ = 0;
   Summary read_latency_;
   Histogram read_latency_hist_{4096};
+
+  /// Per-tenant slices of the read counters/latency above; all empty unless
+  /// enable_tenant_accounting sized them. Sum over tenants == aggregate.
+  std::vector<std::uint64_t> tenant_reads_received_;
+  std::vector<std::uint64_t> tenant_reads_served_;
+  std::vector<std::uint64_t> tenant_reads_dropped_;
+  std::vector<std::uint64_t> tenant_latency_sum_;
+  std::vector<Histogram> tenant_latency_hist_;
 
   /// Always-on per-bank cumulative command counters (one increment per
   /// issued ACT / column access / drop); the window sampler's bank probe

@@ -26,6 +26,11 @@ struct MemRequest {
   /// Writes (dirty L2 evictions) carry src_sm == kNoSm and need no reply.
   SmId src_sm = kNoSm;
 
+  /// Owning tenant; 0 in single-tenant runs. Carried from the issuing warp
+  /// through icnt/L2/MSHR so per-client QoS budgets and accounting can be
+  /// applied at the controller.
+  TenantId tenant = 0;
+
   /// Memory-domain cycle the request entered the pending queue. DMS ages
   /// requests against this stamp ("each request is assigned a time stamp
   /// when it enters the pending queue", Section IV-A).

@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include "workloads/mix.hpp"
+
 namespace lazydram::sim {
 
 double RunMetrics::request_share_with_rbl(std::uint64_t lo, std::uint64_t hi) const {
@@ -32,6 +34,9 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
   m.mem_cycles = hub.counter("gpu.mem_cycles");
   m.instructions = hub.counter("gpu.instructions");
   m.ipc = hub.gauge("gpu.ipc");
+  for (TenantId t = 0; t < gpu.num_tenants(); ++t)
+    if (gpu.tenant_finish_cycle(t) > m.warps_finish_core_cycle)
+      m.warps_finish_core_cycle = gpu.tenant_finish_cycle(t);
 
   std::uint64_t bus_busy = 0;
   double latency_weighted = 0.0;
@@ -123,6 +128,44 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
 
   if (compute_error && !gpu.fmem().overlay().empty())
     m.app_error = workload.application_error(gpu.fmem());
+
+  // Per-tenant slices (multi-tenant runs only). Counters come straight from
+  // the controllers' per-tenant accounting; per-tenant latency histograms
+  // merge over channels exactly like the aggregate above.
+  if (gpu.num_tenants() > 1) {
+    std::vector<double> tenant_errors;
+    const auto* mix = dynamic_cast<const workloads::MixWorkload*>(&workload);
+    if (compute_error && mix != nullptr && !gpu.fmem().overlay().empty())
+      tenant_errors = mix->tenant_application_errors(gpu.fmem());
+
+    for (TenantId t = 0; t < gpu.num_tenants(); ++t) {
+      TenantMetrics tm;
+      tm.id = t;
+      tm.name = workload.tenant_name(t);
+      tm.instructions = gpu.tenant_instructions(t);
+      tm.finish_core_cycle = gpu.tenant_finish_cycle(t);
+      for (ChannelId ch = 0; ch < gpu.num_channels(); ++ch) {
+        const MemoryController& mc = gpu.controller(ch);
+        if (t >= mc.num_tenants()) continue;
+        tm.reads_received += mc.tenant_reads_received(t);
+        tm.reads_served += mc.tenant_reads_served(t);
+        tm.drops += mc.tenant_reads_dropped(t);
+        const Histogram& h = mc.tenant_read_latency_hist(t);
+        for (std::uint64_t k = 0; k < h.bucket_count(); ++k)
+          tm.read_latency_hist.add(k, h.at(k));
+      }
+      tm.coverage = tm.reads_received == 0
+                        ? 0.0
+                        : static_cast<double>(tm.drops) /
+                              static_cast<double>(tm.reads_received);
+      tm.avg_read_latency_mem_cycles = tm.read_latency_hist.mean();
+      tm.read_latency_p50 = tm.read_latency_hist.percentile(0.50);
+      tm.read_latency_p95 = tm.read_latency_hist.percentile(0.95);
+      tm.read_latency_p99 = tm.read_latency_hist.percentile(0.99);
+      if (t < tenant_errors.size()) tm.app_error = tenant_errors[t];
+      m.tenants.push_back(std::move(tm));
+    }
+  }
   return m;
 }
 

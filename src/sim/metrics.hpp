@@ -13,6 +13,29 @@
 
 namespace lazydram::sim {
 
+/// Per-tenant slice of a multi-tenant run. Counter fields sum the
+/// controllers' per-tenant accounting (exact: tenant slices reconcile
+/// against the aggregates); slowdown and fairness need alone-run baselines
+/// and are filled by sim::run_multitenant, not collect_metrics.
+struct TenantMetrics {
+  TenantId id = 0;
+  std::string name;
+  std::uint64_t instructions = 0;
+  Cycle finish_core_cycle = 0;  ///< Core cycle the tenant's last warp retired.
+  std::uint64_t reads_received = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t drops = 0;
+  double coverage = 0.0;  ///< drops / reads_received for this tenant.
+  double avg_read_latency_mem_cycles = 0.0;
+  Histogram read_latency_hist{4096};  ///< Merged over channels.
+  std::uint64_t read_latency_p50 = 0;
+  std::uint64_t read_latency_p95 = 0;
+  std::uint64_t read_latency_p99 = 0;
+  double app_error = 0.0;  ///< This tenant's outputs only.
+  /// Shared-run finish / alone-run finish; 0 until run_multitenant fills it.
+  double slowdown = 0.0;
+};
+
 struct RunMetrics {
   std::string workload;
   std::string scheme;
@@ -20,6 +43,10 @@ struct RunMetrics {
 
   Cycle core_cycles = 0;
   Cycle mem_cycles = 0;
+  /// Core cycle the last warp retired (core_cycles minus the memory drain
+  /// tail). Slowdown baselines use this so shared-run per-tenant finishes and
+  /// alone-run finishes measure the same thing.
+  Cycle warps_finish_core_cycle = 0;
   std::uint64_t instructions = 0;
   double ipc = 0.0;
 
@@ -74,6 +101,12 @@ struct RunMetrics {
 
   Histogram rbl_hist{64};           ///< Activation count per achieved RBL.
   Histogram rbl_readonly_hist{64};  ///< Same, rows that served only reads.
+
+  /// Per-tenant slices; empty for single-tenant runs.
+  std::vector<TenantMetrics> tenants;
+  /// Jain fairness index over per-tenant slowdowns; 0 until run_multitenant
+  /// fills the slowdowns (needs alone-run baselines).
+  double jain_fairness = 0.0;
 
   /// Requests served by activations of RBL in [lo, hi] divided by all
   /// column accesses (Table III's "thrashing level" numerator uses [1, 8]).

@@ -13,6 +13,7 @@ void write_metrics_section(telemetry::JsonWriter& w, const RunMetrics& m) {
   w.field("finished", m.finished);
   w.field("core_cycles", m.core_cycles);
   w.field("mem_cycles", m.mem_cycles);
+  w.field("warps_finish_core_cycle", m.warps_finish_core_cycle);
   w.field("instructions", m.instructions);
   w.field("ipc", m.ipc);
   w.field("activations", m.activations);
@@ -47,6 +48,30 @@ void write_metrics_section(telemetry::JsonWriter& w, const RunMetrics& m) {
   w.field("rbl_p50", m.rbl_hist.percentile(0.50));
   w.field("rbl_p90", m.rbl_hist.percentile(0.90));
   w.field("rbl_p99", m.rbl_hist.percentile(0.99));
+  if (!m.tenants.empty()) {
+    w.key("tenants");
+    w.begin_array();
+    for (const TenantMetrics& t : m.tenants) {
+      w.begin_object();
+      w.field("id", static_cast<std::uint64_t>(t.id));
+      w.field("name", t.name);
+      w.field("instructions", t.instructions);
+      w.field("finish_core_cycle", t.finish_core_cycle);
+      w.field("reads_received", t.reads_received);
+      w.field("reads_served", t.reads_served);
+      w.field("drops", t.drops);
+      w.field("coverage", t.coverage);
+      w.field("avg_read_latency_mem_cycles", t.avg_read_latency_mem_cycles);
+      w.field("read_latency_p50", t.read_latency_p50);
+      w.field("read_latency_p95", t.read_latency_p95);
+      w.field("read_latency_p99", t.read_latency_p99);
+      w.field("app_error", t.app_error);
+      w.field("slowdown", t.slowdown);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("jain_fairness", m.jain_fairness);
+  }
   w.end_object();
 }
 

@@ -83,9 +83,11 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
   // Resolve the observability configuration: explicit RunConfig paths win,
   // then the environment; window sampling is implied by either output.
   std::string trace_path = config.trace_path;
-  if (trace_path.empty()) trace_path = telemetry::env_string("LAZYDRAM_TRACE");
+  if (trace_path.empty() && !config.ignore_env_outputs)
+    trace_path = telemetry::env_string("LAZYDRAM_TRACE");
   std::string json_path = config.json_report_path;
-  if (json_path.empty()) json_path = telemetry::env_string("LAZYDRAM_JSON");
+  if (json_path.empty() && !config.ignore_env_outputs)
+    json_path = telemetry::env_string("LAZYDRAM_JSON");
   std::string trace_format = config.trace_format;
   if (trace_format.empty()) trace_format = telemetry::env_string("LAZYDRAM_TRACE_FORMAT");
   if (trace_format.empty()) trace_format = "jsonl";

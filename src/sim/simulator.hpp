@@ -45,6 +45,10 @@ struct RunConfig {
   bool lifecycle = false;
   std::string json_report_path;  ///< JSON run report; "" defers to $LAZYDRAM_JSON.
   bool window_sampling = false;  ///< Forced on when either path resolves non-empty.
+  /// Suppress the $LAZYDRAM_TRACE/$LAZYDRAM_JSON fallbacks for this run.
+  /// Fan-out drivers (run_multitenant baselines) set this so parallel lanes
+  /// never race on one env-named output file.
+  bool ignore_env_outputs = false;
 
   // --- Verification ---
   /// Protocol-checker mode: "off" | "log" | "strict"; "" defers to

@@ -122,6 +122,29 @@ void ChromeTraceSink::on_window(const WindowSample& w) {
   raw("{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"energy\","
       "\"args\":{\"row\":%.10g,\"access\":%.10g,\"background\":%.10g,\"refresh\":%.10g}}",
       w.channel, ts, cum.row, cum.access, cum.background, cum.refresh);
+  // Stacked per-tenant series: one counter track per metric, one series per
+  // tenant, so Perfetto shows each client's share of the channel over time.
+  if (!w.tenants.empty()) {
+    struct TenantSeries {
+      const char* name;
+      std::uint64_t (*get)(const TenantWindowSample&);
+    };
+    static constexpr TenantSeries kTenantSeries[] = {
+        {"tenant.reads", [](const TenantWindowSample& t) { return t.reads_received; }},
+        {"tenant.served", [](const TenantWindowSample& t) { return t.reads_served; }},
+        {"tenant.drops", [](const TenantWindowSample& t) { return t.drops; }},
+    };
+    for (const TenantSeries& s : kTenantSeries) {
+      if (!first_) std::fputs(",\n", out_);
+      first_ = false;
+      std::fprintf(out_, "{\"ph\":\"C\",\"pid\":%u,\"ts\":%.3f,\"name\":\"%s\",\"args\":{",
+                   w.channel, ts, s.name);
+      for (std::size_t t = 0; t < w.tenants.size(); ++t)
+        std::fprintf(out_, "%s\"t%zu\":%" PRIu64, t == 0 ? "" : ",", t,
+                     s.get(w.tenants[t]));
+      std::fputs("}}", out_);
+    }
+  }
   if (w.banks.empty()) return;
   // Stacked per-bank energy (nJ spent this window, all components).
   if (!first_) std::fputs(",\n", out_);
@@ -184,8 +207,8 @@ void ChromeTraceSink::on_lifecycle(const RequestLifecycle& r) {
   std::fprintf(out_,
                "{\"ph\":\"b\",\"cat\":\"req\",\"id\":%" PRIu64 ",\"pid\":%u,\"tid\":0"
                ",\"ts\":%.3f,\"name\":\"req\",\"args\":{\"line\":%" PRIu64
-               ",\"bank\":%d,\"merged\":%u,\"dropped\":%s}}",
-               r.id, r.channel, begin, r.line_addr, r.bank, r.mshr_merges,
+               ",\"bank\":%d,\"tenant\":%u,\"merged\":%u,\"dropped\":%s}}",
+               r.id, r.channel, begin, r.line_addr, r.bank, r.tenant, r.mshr_merges,
                r.dropped ? "true" : "false");
 
   if (has_core) {

@@ -71,6 +71,7 @@ void LifecycleCollector::on_enqueue(const MemRequest& req, ChannelId channel, Cy
     if (it == live_.end()) return;
     it->second.channel = channel;
     it->second.bank = static_cast<std::int32_t>(req.loc.bank);
+    it->second.tenant = req.tenant;
     it->second.enqueue_mem = now_mem;
     return;
   }
@@ -80,6 +81,7 @@ void LifecycleCollector::on_enqueue(const MemRequest& req, ChannelId channel, Cy
   rec.line_addr = req.line_addr;
   rec.channel = channel;
   rec.bank = static_cast<std::int32_t>(req.loc.bank);
+  rec.tenant = req.tenant;
   rec.enqueue_mem = now_mem;
   live_.emplace(req.id, std::move(rec));
 }

@@ -78,6 +78,7 @@ void JsonlTraceSink::on_lifecycle(const RequestLifecycle& r) {
                r.id, r.channel, r.bank, r.line_addr, r.dropped ? "true" : "false",
                r.mshr_merges, r.inject_core, r.eject_core, r.enqueue_core,
                r.reply_core, r.wakeup_core, r.enqueue_mem, r.gated_cycles);
+  if (r.tenant != 0) std::fprintf(out_, ",\"tenant\":%u", r.tenant);
   if (r.dropped)
     std::fprintf(out_, ",\"drop\":%" PRIu64, r.drop_mem);
   else
@@ -119,6 +120,17 @@ void JsonlTraceSink::on_window(const WindowSample& w) {
                    ",\"active\":%" PRIu64 ",\"energy_nj\":%.17g}",
                    b == 0 ? "" : ",", bk.activations, bk.column_accesses, bk.row_hits,
                    bk.drops, bk.dms_stall_cycles, bk.active_cycles, bk.energy_nj);
+    }
+    std::fputc(']', out_);
+  }
+  if (!w.tenants.empty()) {
+    std::fputs(",\"tenants\":[", out_);
+    for (std::size_t t = 0; t < w.tenants.size(); ++t) {
+      const TenantWindowSample& ts = w.tenants[t];
+      std::fprintf(out_,
+                   "%s{\"reads\":%" PRIu64 ",\"served\":%" PRIu64
+                   ",\"drops\":%" PRIu64 "}",
+                   t == 0 ? "" : ",", ts.reads_received, ts.reads_served, ts.drops);
     }
     std::fputc(']', out_);
   }

@@ -77,6 +77,7 @@ struct RequestLifecycle {
   Addr line_addr = 0;
   ChannelId channel = 0;
   std::int32_t bank = -1;
+  TenantId tenant = 0;         ///< Owning client (0 in single-tenant runs).
   bool dropped = false;        ///< AMS drop (VP-served) instead of DRAM service.
   std::uint32_t mshr_merges = 0;  ///< L2-MSHR packets merged beyond the primary.
 
@@ -108,6 +109,15 @@ struct BankWindowSample {
   std::uint64_t dms_stall_cycles = 0;  ///< Cycles the bank's candidate sat age-gated.
   std::uint64_t active_cycles = 0;  ///< Cycles a row was open (power accountant).
   double energy_nj = 0.0;           ///< Total bank energy this window, all components.
+};
+
+/// Per-tenant slice of one profiling window (delta counters; see
+/// WindowSampler::set_tenant_probe). Renders each client's share of a
+/// channel's traffic and drop budget over time.
+struct TenantWindowSample {
+  std::uint64_t reads_received = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t drops = 0;
 };
 
 /// One closed profiling window of a channel (see WindowSampler). Counters
@@ -150,6 +160,8 @@ struct WindowSample {
 
   /// Per-bank columns; empty unless a bank probe was attached to the sampler.
   std::vector<BankWindowSample> banks;
+  /// Per-tenant columns; empty unless a tenant probe was attached.
+  std::vector<TenantWindowSample> tenants;
 };
 
 /// Receives traced events. Implementations must not mutate simulator state.

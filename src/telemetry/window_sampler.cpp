@@ -10,6 +10,12 @@ void WindowSampler::set_bank_probe(unsigned num_banks, BankProbeFn fn) {
   bank_base_.assign(num_banks, BankProbe{});
 }
 
+void WindowSampler::set_tenant_probe(unsigned num_tenants, TenantProbeFn fn) {
+  tenant_probe_ = std::move(fn);
+  tenant_scratch_.assign(num_tenants, TenantProbe{});
+  tenant_base_.assign(num_tenants, TenantProbe{});
+}
+
 void WindowSampler::tick(Cycle now, const WindowProbe& probe) {
   // Same boundary arithmetic as DmsUnit/AmsUnit: the tick that lands on the
   // boundary closes the elapsed window before being accounted itself.
@@ -83,6 +89,20 @@ void WindowSampler::close_window(Cycle end, const WindowProbe& probe) {
                          : 0;
     }
     bank_base_ = bank_scratch_;
+  }
+
+  if (tenant_probe_) {
+    for (auto& t : tenant_scratch_) t = TenantProbe{};
+    tenant_probe_(tenant_scratch_);
+    w.tenants.resize(tenant_scratch_.size());
+    for (std::size_t t = 0; t < tenant_scratch_.size(); ++t) {
+      const TenantProbe& cur = tenant_scratch_[t];
+      const TenantProbe& prev = tenant_base_[t];
+      w.tenants[t].reads_received = cur.reads_received - prev.reads_received;
+      w.tenants[t].reads_served = cur.reads_served - prev.reads_served;
+      w.tenants[t].drops = cur.drops - prev.drops;
+    }
+    tenant_base_ = tenant_scratch_;
   }
 
   samples_.push_back(w);

@@ -61,11 +61,22 @@ struct BankProbe {
   double energy_nj = 0.0;          ///< Total bank energy, all components.
 };
 
+/// Per-tenant cumulative counters collected by the tenant probe (same
+/// differencing discipline as BankProbe; pulled only at window close).
+struct TenantProbe {
+  std::uint64_t reads_received = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t drops = 0;
+};
+
 class WindowSampler {
  public:
   /// Fills `out` (pre-sized to the bank count) with cumulative per-bank
   /// counters as of memory cycle `end`.
   using BankProbeFn = std::function<void(Cycle end, std::vector<BankProbe>& out)>;
+  /// Fills `out` (pre-sized to the tenant count) with cumulative per-tenant
+  /// counters.
+  using TenantProbeFn = std::function<void(std::vector<TenantProbe>& out)>;
 
   /// `tracer` may be null (samples are then only kept in memory).
   WindowSampler(ChannelId channel, Cycle window, Tracer* tracer)
@@ -75,6 +86,10 @@ class WindowSampler {
   /// BankWindowSample per bank, differenced from `fn`'s cumulative counters.
   /// The probe runs only at window close, never per tick.
   void set_bank_probe(unsigned num_banks, BankProbeFn fn);
+
+  /// Attaches per-tenant columns: each closed window additionally carries a
+  /// TenantWindowSample per tenant (multi-tenant runs only).
+  void set_tenant_probe(unsigned num_tenants, TenantProbeFn fn);
 
   /// Conversion factor from nJ-per-cycle to watts (mem_clock_mhz * 1e-3);
   /// closed windows then carry avg_power_w = energy_nj / ticks * scale.
@@ -106,6 +121,10 @@ class WindowSampler {
   BankProbeFn bank_probe_;
   std::vector<BankProbe> bank_scratch_;  ///< Cumulative counters at window close.
   std::vector<BankProbe> bank_base_;     ///< Cumulative counters at the last boundary.
+
+  TenantProbeFn tenant_probe_;
+  std::vector<TenantProbe> tenant_scratch_;
+  std::vector<TenantProbe> tenant_base_;
 
   Cycle window_start_ = 0;
   Cycle last_tick_ = 0;

@@ -15,26 +15,15 @@ const char* level_name(Level level) {
   return "?";
 }
 
-double Workload::application_error(const gpu::FunctionalMemory& fmem) const {
-  // Exact pass: pristine image, no overlay.
-  gpu::MemoryImage exact_img(fmem.image());
-  gpu::MemView exact_view(exact_img, nullptr);
-  compute_output(exact_view);
-
-  // Approximate pass: every read consults the VP overlay first.
-  gpu::MemoryImage approx_img(fmem.image());
-  gpu::MemView approx_view(approx_img, &fmem.overlay());
-  compute_output(approx_view);
-
-  // Average relative error over all declared f32 outputs, reading each
-  // output the way a consumer would (through the respective view).
+double average_relative_error(const gpu::MemView& exact, const gpu::MemView& approx,
+                              const std::vector<AddrRange>& ranges) {
   double error_sum = 0.0;
   std::uint64_t count = 0;
-  for (const AddrRange& range : output_ranges()) {
+  for (const AddrRange& range : ranges) {
     LD_ASSERT_MSG(range.bytes % 4 == 0, "output ranges must be f32 arrays");
     for (Addr a = range.base; a < range.base + range.bytes; a += 4) {
-      const float e = exact_view.read_f32(a);
-      const float p = approx_view.read_f32(a);
+      const float e = exact.read_f32(a);
+      const float p = approx.read_f32(a);
       if (!std::isfinite(e) || !std::isfinite(p)) {
         error_sum += 1.0;  // Non-finite divergence counts as 100% error.
         ++count;
@@ -49,6 +38,22 @@ double Workload::application_error(const gpu::FunctionalMemory& fmem) const {
     }
   }
   return count == 0 ? 0.0 : error_sum / static_cast<double>(count);
+}
+
+double Workload::application_error(const gpu::FunctionalMemory& fmem) const {
+  // Exact pass: pristine image, no overlay.
+  gpu::MemoryImage exact_img(fmem.image());
+  gpu::MemView exact_view(exact_img, nullptr);
+  compute_output(exact_view);
+
+  // Approximate pass: every read consults the VP overlay first.
+  gpu::MemoryImage approx_img(fmem.image());
+  gpu::MemView approx_view(approx_img, &fmem.overlay());
+  compute_output(approx_view);
+
+  // Average relative error over all declared f32 outputs, reading each
+  // output the way a consumer would (through the respective view).
+  return average_relative_error(exact_view, approx_view, output_ranges());
 }
 
 bool Workload::is_approximable(Addr addr) const {

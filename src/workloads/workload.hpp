@@ -62,6 +62,27 @@ class Workload {
   /// warp's program has ended. Must be deterministic and side-effect free.
   virtual bool op_at(unsigned warp, unsigned step, gpu::WarpOp& op) const = 0;
 
+  // --- Tenancy (multi-stream front-end; see workloads::MixWorkload) ---
+  /// Number of independent clients multiplexed by this workload. Plain
+  /// single-application models keep the default of 1.
+  virtual unsigned num_tenants() const { return 1; }
+  /// Owning tenant of a warp id in [0, num_warps()).
+  virtual TenantId tenant_of_warp(unsigned warp) const {
+    (void)warp;
+    return 0;
+  }
+  /// Display name of a tenant (mixes return the client's spec name).
+  virtual std::string tenant_name(TenantId t) const {
+    return "t" + std::to_string(t);
+  }
+  /// Owning tenant of a byte address (tenants occupy disjoint address
+  /// windows, so ownership is derivable from the address alone — used to tag
+  /// L2 writebacks that no longer carry an originating packet).
+  virtual TenantId tenant_of_addr(Addr addr) const {
+    (void)addr;
+    return 0;
+  }
+
   // --- Functional half ---
   virtual void init_memory(gpu::MemoryImage& image) const = 0;
   /// Executes the app's dataflow against `view` (reads consult the
@@ -79,5 +100,12 @@ class Workload {
   /// True iff `addr` lies in an annotated approximable range.
   bool is_approximable(Addr addr) const;
 };
+
+/// Average relative error between two computed views over `ranges`
+/// (Section II-D: elementwise mean of min(1, |approx - exact| / |exact|),
+/// with non-finite divergence counted as 100%). Shared by the default
+/// application_error and per-tenant error slices.
+double average_relative_error(const gpu::MemView& exact, const gpu::MemView& approx,
+                              const std::vector<AddrRange>& ranges);
 
 }  // namespace lazydram::workloads

@@ -1,0 +1,186 @@
+// Fairness-reporting tests: Jain-index fixtures with hand-computed values,
+// slowdown arithmetic reconciled against the shared and alone runs it is
+// derived from, per-tenant latency percentiles reconciled against the
+// aggregate histograms, and byte-identical multi-tenant JSON for --jobs 1
+// vs --jobs 2 (the parallel alone-run lanes must not leak nondeterminism).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "gpu/tenant.hpp"
+#include "sim/multitenant.hpp"
+
+namespace lazydram {
+namespace {
+
+sim::RunConfig small_run_config() {
+  sim::RunConfig rc;
+  rc.spec = core::make_scheme_spec(core::SchemeKind::kDynCombo, rc.gpu.scheme);
+  rc.compute_error = false;
+  rc.ignore_env_outputs = true;  // Keep CI env knobs out of unit tests.
+  return rc;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// ---------------------------------------------------------------------------
+// Jain index fixtures (hand-computed).
+// ---------------------------------------------------------------------------
+
+TEST(JainIndex, HandComputedFixtures) {
+  // Equal allocations are perfectly fair.
+  EXPECT_DOUBLE_EQ(sim::jain_index({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(sim::jain_index({2.5, 2.5}), 1.0);
+  // {2, 4}: (2+4)^2 / (2 * (4+16)) = 36/40 = 0.9 exactly.
+  EXPECT_DOUBLE_EQ(sim::jain_index({2.0, 4.0}), 0.9);
+  // {1, 0, 0}: 1 / (3 * 1) = 1/3 — one tenant absorbs everything.
+  EXPECT_DOUBLE_EQ(sim::jain_index({1.0, 0.0, 0.0}), 1.0 / 3.0);
+  // {1, 2, 3}: 36 / (3 * 14) = 6/7.
+  EXPECT_DOUBLE_EQ(sim::jain_index({1.0, 2.0, 3.0}), 6.0 / 7.0);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(sim::jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(sim::jain_index({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sim::jain_index({7.0}), 1.0);
+  // Scale invariance: index depends only on the ratio.
+  EXPECT_DOUBLE_EQ(sim::jain_index({20.0, 40.0}), sim::jain_index({2.0, 4.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Slowdown arithmetic against a real two-tenant run.
+// ---------------------------------------------------------------------------
+
+TEST(Fairness, IdenticalTenantsSlowDownEquallyAndFormulaReconciles) {
+  gpu::TenantSet set(gpu::parse_tenant_specs("SCP:warps=60;SCP:warps=60"), 3);
+  const sim::RunConfig rc = small_run_config();
+  const sim::MultitenantResult r = sim::run_multitenant(set, rc, 1);
+  const sim::RunMetrics& m = r.shared.metrics;
+
+  ASSERT_TRUE(m.finished);
+  ASSERT_EQ(m.tenants.size(), 2u);
+  ASSERT_EQ(r.alone.size(), 2u);
+
+  for (const sim::TenantMetrics& t : m.tenants) {
+    ASSERT_TRUE(r.alone[t.id].finished);
+    // Slowdown is exactly shared finish over alone finish — both ends warp
+    // retirement, so the formula is re-derivable from the reported fields.
+    ASSERT_GT(r.alone[t.id].warps_finish_core_cycle, 0u);
+    EXPECT_DOUBLE_EQ(t.slowdown,
+                     static_cast<double>(t.finish_core_cycle) /
+                         static_cast<double>(r.alone[t.id].warps_finish_core_cycle));
+    // Sharing the machine cannot speed a client up (beyond timing noise from
+    // interleaving; allow a hair below 1).
+    EXPECT_GE(t.slowdown, 0.99);
+  }
+
+  // Two byte-identical clients must experience near-identical slowdowns:
+  // the only asymmetry is their address windows' channel interleaving.
+  const double s0 = m.tenants[0].slowdown;
+  const double s1 = m.tenants[1].slowdown;
+  EXPECT_NEAR(s0, s1, 0.05 * s0);
+  EXPECT_GT(m.jain_fairness, 0.999);
+  EXPECT_LE(m.jain_fairness, 1.0 + 1e-12);
+
+  // Jain index over the reported slowdowns matches the reported index.
+  EXPECT_DOUBLE_EQ(m.jain_fairness, sim::jain_index({s0, s1}));
+
+  // The alone baselines really ran alone: one tenant each.
+  for (const sim::RunMetrics& a : r.alone) EXPECT_TRUE(a.tenants.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant percentiles reconcile with the aggregate histogram.
+// ---------------------------------------------------------------------------
+
+TEST(Fairness, PerTenantLatencyReconcilesWithAggregate) {
+  gpu::TenantSet set(
+      gpu::parse_tenant_specs("SCP:warps=60;CONS:warps=60;MVT:warps=60,approx=0"), 9);
+  sim::RunConfig rc = small_run_config();
+  set.apply_qos(rc.gpu);
+  const sim::MultitenantResult r = sim::run_multitenant(set, rc, 1);
+  const sim::RunMetrics& m = r.shared.metrics;
+  ASSERT_TRUE(m.finished);
+  ASSERT_EQ(m.tenants.size(), 3u);
+
+  // Counts: per-tenant reads partition the aggregate.
+  std::uint64_t recv = 0, served = 0, drops = 0, hist_total = 0;
+  double weighted_mean = 0.0;
+  for (const sim::TenantMetrics& t : m.tenants) {
+    EXPECT_GT(t.reads_received, 0u) << t.name;
+    EXPECT_GT(t.instructions, 0u) << t.name;
+    recv += t.reads_received;
+    served += t.reads_served;
+    drops += t.drops;
+    hist_total += t.read_latency_hist.total();
+    weighted_mean += t.avg_read_latency_mem_cycles *
+                     static_cast<double>(t.read_latency_hist.total());
+    // Percentiles come from the tenant's own histogram and must be ordered.
+    EXPECT_LE(t.read_latency_p50, t.read_latency_p95);
+    EXPECT_LE(t.read_latency_p95, t.read_latency_p99);
+    EXPECT_EQ(t.read_latency_p50, t.read_latency_hist.percentile(0.50));
+    EXPECT_EQ(t.read_latency_p95, t.read_latency_hist.percentile(0.95));
+    EXPECT_EQ(t.read_latency_p99, t.read_latency_hist.percentile(0.99));
+  }
+  EXPECT_EQ(recv, m.reads_received);
+  EXPECT_EQ(drops, m.drops);
+  // Served latency samples: every tenant sample is an aggregate sample.
+  EXPECT_EQ(hist_total, served);
+  ASSERT_GT(hist_total, 0u);
+  // The tenant-weighted mean equals the aggregate mean to rounding.
+  weighted_mean /= static_cast<double>(hist_total);
+  EXPECT_NEAR(weighted_mean, m.avg_read_latency_mem_cycles,
+              1e-9 * m.avg_read_latency_mem_cycles);
+
+  // The precise-only tenant never dropped; only approx tenants carry coverage.
+  EXPECT_EQ(m.tenants[2].drops, 0u);
+  EXPECT_DOUBLE_EQ(m.tenants[2].coverage, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: --jobs must not change a byte of the report.
+// ---------------------------------------------------------------------------
+
+TEST(Fairness, ParallelBaselinesAreByteIdenticalToSerial) {
+  const sim::RunConfig rc = small_run_config();
+
+  gpu::TenantSet serial_set(
+      gpu::parse_tenant_specs("SCP:warps=60,cap=0.05;CONS:warps=60;MVT:warps=60,approx=0"),
+      7);
+  sim::RunConfig serial_rc = rc;
+  serial_set.apply_qos(serial_rc.gpu);
+  const sim::MultitenantResult serial = sim::run_multitenant(serial_set, serial_rc, 1);
+
+  gpu::TenantSet parallel_set(
+      gpu::parse_tenant_specs("SCP:warps=60,cap=0.05;CONS:warps=60;MVT:warps=60,approx=0"),
+      7);
+  sim::RunConfig parallel_rc = rc;
+  parallel_set.apply_qos(parallel_rc.gpu);
+  const sim::MultitenantResult parallel = sim::run_multitenant(parallel_set, parallel_rc, 2);
+
+  const std::string p1 = temp_path("mt_serial.json");
+  const std::string p2 = temp_path("mt_parallel.json");
+  ASSERT_TRUE(sim::write_multitenant_report(p1, serial));
+  ASSERT_TRUE(sim::write_multitenant_report(p2, parallel));
+  const std::string a = read_file(p1);
+  const std::string b = read_file(p2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "multi-tenant report differs between --jobs 1 and --jobs 2";
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+}  // namespace
+}  // namespace lazydram
