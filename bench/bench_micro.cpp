@@ -10,6 +10,7 @@
 // checked-in bench/BENCH_perf.json baseline (tools/check_perf.py).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include "core/value_predictor.hpp"
 #include "dram/address.hpp"
 #include "gpu/functional_memory.hpp"
+#include "gpu/shard.hpp"
 #include "mem/controller.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/json.hpp"
@@ -116,6 +118,11 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Bursty-plus-idle cadence of the perf streams: the saturated hot path
+/// followed by the compute phases real workloads spend most cycles in.
+constexpr Cycle kBusyPhase = 3000;
+constexpr Cycle kIdlePhase = 1500;
+
 struct SchemePerf {
   std::string scheme;
   Cycle mem_cycles = 0;
@@ -174,8 +181,6 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles,
   }
 
   Rng rng(0xF161200ull + static_cast<std::uint64_t>(kind));
-  constexpr Cycle kBusyPhase = 3000;
-  constexpr Cycle kIdlePhase = 1500;
   RequestId id = 1;
   std::uint64_t completed = 0;
 
@@ -207,6 +212,208 @@ SchemePerf drive_controller(core::SchemeKind kind, Cycle total_cycles,
   return perf;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-driver lane (--shard): all channels of the fig12 configuration
+// driven through the event-wheel horizons (next_event / advance_idle), first
+// on one thread and then fanned over worker lanes with gpu::ShardPool — the
+// same machinery GpuTop's sharded main loop uses. The request streams are
+// precomputed so every mode consumes the identical per-channel stream, and
+// the aggregate served/completed counts are asserted equal across modes.
+// ---------------------------------------------------------------------------
+
+/// One precomputed enqueue: the stream is fixed up front so skipping cycles
+/// can't perturb the RNG draw sequence between drive modes.
+struct StreamEvent {
+  Cycle cycle = 0;
+  MemRequest req;
+};
+
+/// Cadence of the sharded-driver streams: the compute-dominated shape the
+/// paper's latency-tolerance argument rests on (Section II) — short memory
+/// bursts separated by long compute phases in which the channel sits quiet.
+/// This is the regime the event wheel exists for: the per-tick loop pays for
+/// every quiet cycle, the wheel fast-forwards over them.
+constexpr Cycle kShardBusyPhase = 1500;
+constexpr Cycle kShardIdlePhase = 118500;
+
+std::vector<StreamEvent> make_stream(const GpuConfig& cfg, const AddressMapper& mapper,
+                                     ChannelId ch, Cycle total_cycles) {
+  Rng rng(0x5AD0ull + ch);
+  RequestId id = 1;
+  std::vector<StreamEvent> out;
+  for (Cycle now = 0; now < total_cycles; ++now) {
+    const bool busy = now % (kShardBusyPhase + kShardIdlePhase) < kShardBusyPhase;
+    if (!busy || !rng.next_bool(0.35)) continue;
+    StreamEvent e;
+    e.cycle = now;
+    e.req.id = id++;
+    e.req.line_addr = mapper.compose(
+        ch, static_cast<BankId>(rng.next_below(cfg.banks_per_channel)),
+        rng.next_below(256),
+        static_cast<std::uint32_t>(rng.next_below(16) * kLineBytes));
+    e.req.kind = rng.next_bool(0.15) ? AccessKind::kWrite : AccessKind::kRead;
+    e.req.approximable = e.req.kind == AccessKind::kRead && rng.next_bool(0.7);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<MemoryController>> make_channels(
+    const GpuConfig& cfg, const AddressMapper& mapper, const core::SchemeSpec& spec) {
+  std::vector<std::unique_ptr<MemoryController>> mcs;
+  for (ChannelId ch = 0; ch < cfg.num_channels; ++ch) {
+    std::unique_ptr<Scheduler> sched = core::make_scheduler(cfg, spec);
+    auto* lazy = dynamic_cast<core::LazyScheduler*>(sched.get());
+    LD_ASSERT(lazy != nullptr);
+    lazy->set_ams_ready(true);
+    mcs.push_back(
+        std::make_unique<MemoryController>(cfg, ch, mapper, std::move(sched)));
+  }
+  return mcs;
+}
+
+/// Drives one channel over its stream cycle by cycle (the legacy loop body).
+std::uint64_t drive_one_legacy(MemoryController& mc,
+                               const std::vector<StreamEvent>& stream,
+                               Cycle total_cycles) {
+  std::uint64_t completed = 0;
+  std::size_t idx = 0;
+  for (Cycle now = 0; now < total_cycles; ++now) {
+    if (idx < stream.size() && stream[idx].cycle == now) {
+      if (mc.can_accept()) mc.enqueue(stream[idx].req, now);
+      ++idx;
+    }
+    mc.tick(now);
+    while (mc.pop_reply(now)) ++completed;
+  }
+  while (mc.pop_reply(total_cycles - 1)) ++completed;
+  return completed;
+}
+
+/// Drives one channel over its stream through the event-wheel horizons:
+/// quiet spans are fast-forwarded via next_event()/advance_idle(), with the
+/// skip additionally bounded by the next stream enqueue. Replies are popped
+/// at real ticks only; the final drain makes the completed count identical
+/// to the per-tick loop.
+std::uint64_t drive_one_wheel(MemoryController& mc,
+                              const std::vector<StreamEvent>& stream,
+                              Cycle total_cycles) {
+  std::uint64_t completed = 0;
+  std::size_t idx = 0;
+  const auto real_tick = [&](Cycle now) {
+    if (idx < stream.size() && stream[idx].cycle == now) {
+      if (mc.can_accept()) mc.enqueue(stream[idx].req, now);
+      ++idx;
+    }
+    mc.tick(now);
+    while (mc.pop_reply(now)) ++completed;
+  };
+  real_tick(0);
+  Cycle m = 0;  // Last processed cycle.
+  while (m + 1 < total_cycles) {
+    const Cycle next_stream = idx < stream.size() ? stream[idx].cycle : kNeverCycle;
+    const Cycle ev = std::min(mc.next_event(m), next_stream);
+    if (ev > m + 1) {
+      const Cycle to = std::min(ev - 1, total_cycles - 1);
+      mc.advance_idle(m, to);
+      m = to;
+      continue;
+    }
+    ++m;
+    real_tick(m);
+  }
+  while (mc.pop_reply(total_cycles - 1)) ++completed;
+  return completed;
+}
+
+struct ShardedPerf {
+  unsigned lanes = 1;
+  Cycle mem_cycles = 0;  ///< Aggregate over channels.
+  std::uint64_t requests_completed = 0;
+  double legacy_wall = 0.0;
+  double wheel_wall = 0.0;
+  double sharded_wall = 0.0;
+  double speedup() const {
+    return sharded_wall == 0.0 ? 0.0 : legacy_wall / sharded_wall;
+  }
+};
+
+ShardedPerf drive_sharded(Cycle cycles_per_channel, unsigned shard) {
+  GpuConfig cfg;  // fig12 configuration: Table I defaults.
+  AddressMapper mapper(cfg);
+  const core::SchemeSpec spec =
+      core::make_scheme_spec(core::SchemeKind::kDynCombo, cfg.scheme);
+  const unsigned channels = cfg.num_channels;
+
+  std::vector<std::vector<StreamEvent>> streams;
+  for (ChannelId ch = 0; ch < channels; ++ch)
+    streams.push_back(make_stream(cfg, mapper, ch, cycles_per_channel));
+
+  ShardedPerf perf;
+  perf.lanes = std::min(std::max(shard, 1u), channels);
+  perf.mem_cycles = cycles_per_channel * channels;
+
+  std::uint64_t legacy_completed = 0, legacy_served = 0;
+
+  // Best-of-3 per mode, modes interleaved within each repetition so host
+  // noise (a shared/throttled box) hits all three alike; min-wall is the
+  // standard robust estimator for wall-clock microbenchmarks.
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Legacy: every channel ticked every cycle, one thread.
+    {
+      auto mcs = make_channels(cfg, mapper, spec);
+      std::uint64_t completed = 0, served = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (ChannelId ch = 0; ch < channels; ++ch)
+        completed += drive_one_legacy(*mcs[ch], streams[ch], cycles_per_channel);
+      const double wall = seconds_since(start);
+      if (rep == 0 || wall < perf.legacy_wall) perf.legacy_wall = wall;
+      for (const auto& mc : mcs) served += mc->reads_served();
+      legacy_completed = completed;
+      legacy_served = served;
+    }
+
+    // Event wheel, one thread.
+    {
+      auto mcs = make_channels(cfg, mapper, spec);
+      std::uint64_t completed = 0, served = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (ChannelId ch = 0; ch < channels; ++ch)
+        completed += drive_one_wheel(*mcs[ch], streams[ch], cycles_per_channel);
+      const double wall = seconds_since(start);
+      if (rep == 0 || wall < perf.wheel_wall) perf.wheel_wall = wall;
+      for (const auto& mc : mcs) served += mc->reads_served();
+      // The drives must agree exactly — the wheel and the lanes are
+      // execution strategies, not models.
+      LD_ASSERT_MSG(completed == legacy_completed && served == legacy_served,
+                    "event-wheel drive diverged from the per-tick drive");
+    }
+
+    // Event wheel fanned over worker lanes (channel ch on lane ch % lanes).
+    {
+      auto mcs = make_channels(cfg, mapper, spec);
+      std::vector<std::uint64_t> lane_completed(channels, 0);
+      std::uint64_t completed = 0, served = 0;
+      gpu::ShardPool pool(perf.lanes);
+      const auto start = std::chrono::steady_clock::now();
+      pool.run([&](unsigned lane) {
+        for (ChannelId ch = lane; ch < channels; ch += perf.lanes)
+          lane_completed[ch] =
+              drive_one_wheel(*mcs[ch], streams[ch], cycles_per_channel);
+      });
+      const double wall = seconds_since(start);
+      if (rep == 0 || wall < perf.sharded_wall) perf.sharded_wall = wall;
+      for (ChannelId ch = 0; ch < channels; ++ch) completed += lane_completed[ch];
+      for (const auto& mc : mcs) served += mc->reads_served();
+      LD_ASSERT_MSG(completed == legacy_completed && served == legacy_served,
+                    "sharded drive diverged from the per-tick drive");
+    }
+  }
+  perf.requests_completed = legacy_completed;
+  return perf;
+}
+
 /// File-name-safe spelling of a scheme label ("Dyn-DMS+AMS" -> "Dyn_DMS_AMS").
 std::string scheme_file_name(const std::string& scheme) {
   std::string out = scheme;
@@ -216,7 +423,7 @@ std::string scheme_file_name(const std::string& scheme) {
 }
 
 int run_perf(const std::string& out_path, Cycle cycles_per_scheme,
-             const std::string& trace_dir) {
+             const std::string& trace_dir, unsigned shard) {
   std::vector<SchemePerf> results;
   double total_wall = 0.0;
   for (core::SchemeKind kind : core::all_schemes()) {
@@ -244,9 +451,36 @@ int run_perf(const std::string& out_path, Cycle cycles_per_scheme,
     results.push_back(std::move(perf));
   }
 
+  // Sharded-driver lane: all channels over the same streams, per-tick vs
+  // event wheel vs worker lanes. Untraced only — the lane measures raw
+  // driver throughput (the sharded telemetry path is covered by the
+  // Sharding.* byte-identity tests).
+  ShardedPerf sharded;
+  if (trace_dir.empty()) {
+    sharded = drive_sharded(cycles_per_scheme, shard);
+    std::printf("perf  %-16s %8.3f s  %12.0f mem-cycles/s  (per-tick, 1 thread)\n",
+                "shard:legacy", sharded.legacy_wall,
+                sharded.legacy_wall == 0.0
+                    ? 0.0
+                    : static_cast<double>(sharded.mem_cycles) / sharded.legacy_wall);
+    std::printf("perf  %-16s %8.3f s  %12.0f mem-cycles/s  (wheel, 1 thread)\n",
+                "shard:wheel", sharded.wheel_wall,
+                sharded.wheel_wall == 0.0
+                    ? 0.0
+                    : static_cast<double>(sharded.mem_cycles) / sharded.wheel_wall);
+    std::printf("perf  %-16s %8.3f s  %12.0f mem-cycles/s  (%u lanes, %.2fx)\n",
+                "shard:lanes", sharded.sharded_wall,
+                sharded.sharded_wall == 0.0
+                    ? 0.0
+                    : static_cast<double>(sharded.mem_cycles) / sharded.sharded_wall,
+                sharded.lanes, sharded.speedup());
+    total_wall += sharded.legacy_wall + sharded.wheel_wall + sharded.sharded_wall;
+  }
+
   // One end-to-end run (full GPU model, all channels) so controller-level
   // wins that evaporate at system level would show up in the report.
   sim::RunConfig e2e_cfg;
+  e2e_cfg.gpu.shard_threads = shard;
   e2e_cfg.spec = core::make_scheme_spec(core::SchemeKind::kDynCombo,
                                         e2e_cfg.gpu.scheme);
   const auto e2e = sim::simulate_full(*workloads::make_scp(), e2e_cfg);
@@ -280,6 +514,18 @@ int run_perf(const std::string& out_path, Cycle cycles_per_scheme,
     w.end_object();
   }
   w.end_array();
+  if (trace_dir.empty()) {
+    w.key("sharded");
+    w.begin_object();
+    w.field("lanes", static_cast<std::uint64_t>(sharded.lanes));
+    w.field("mem_cycles", static_cast<std::uint64_t>(sharded.mem_cycles));
+    w.field("requests_completed", sharded.requests_completed);
+    w.field("legacy_wall_seconds", sharded.legacy_wall);
+    w.field("wheel_wall_seconds", sharded.wheel_wall);
+    w.field("sharded_wall_seconds", sharded.sharded_wall);
+    w.field("speedup", sharded.speedup());
+    w.end_object();
+  }
   w.key("end_to_end");
   w.begin_object();
   w.field("workload", "SCP");
@@ -303,6 +549,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_perf.json";
   std::string trace_dir;
   Cycle cycles_per_scheme = 2'000'000;
+  unsigned shard = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--perf") == 0) {
       perf = true;
@@ -314,9 +561,13 @@ int main(int argc, char** argv) {
       // Existing directory to drop one chrome trace per scheme into; turns
       // the harness into the tracing-on overhead measurement.
       trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      // Worker lanes for the sharded-driver lane and the end-to-end run
+      // (GpuConfig::shard_threads); 0 keeps both on the legacy loop.
+      shard = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     }
   }
-  if (perf) return run_perf(out_path, cycles_per_scheme, trace_dir);
+  if (perf) return run_perf(out_path, cycles_per_scheme, trace_dir, shard);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -206,6 +206,17 @@ struct GpuConfig {
   /// (or =0) disables it for A/B comparison.
   bool fast_path = true;
 
+  /// Sharded execution of GpuTop's run loop. 0 (default) keeps the legacy
+  /// cycle-by-cycle loop; 1 switches to the event-wheel driver (fast-forward
+  /// over quiet spans between deterministic synchronization points) on the
+  /// calling thread; N > 1 additionally partitions the memory controllers
+  /// into N worker lanes that advance independently inside each epoch, with
+  /// telemetry buffered per lane and replayed in (cycle, channel) order at
+  /// the barrier. Results and trace output are bit-identical for every
+  /// value (proven by the Sharding.* lockstep tests and tools/diffcheck);
+  /// LAZYDRAM_SHARD=N selects it for full-simulation runs.
+  unsigned shard_threads = 0;
+
   /// Enables the per-bank state-residency power accountant (src/dram/power).
   /// Strictly passive — results are bit-identical either way (proven by
   /// PowerAccounting.OffIsBitIdentical); off only removes the O(1)-per-

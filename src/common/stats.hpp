@@ -2,9 +2,10 @@
 //
 // Counters and histograms are plain value types owned by the component that
 // increments them; StatRegistry provides an optional flat name -> value view
-// for reporting. Nothing here is thread-aware: the simulator is single-
-// threaded by design (cycle-accurate models do not parallelize across a
-// shared clock without losing determinism).
+// for reporting. Nothing here is thread-aware: each instance is owned and
+// mutated by exactly one component, and the sharded main loop only ever
+// reads them from the main thread at epoch barriers. Shard-local histograms
+// reconcile through Histogram::merge, which is exact and order-independent.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +70,20 @@ class Histogram {
   /// Mean of recorded keys (overflowed samples contribute their true key to
   /// the weighted sum, so the mean remains exact).
   double mean() const { return total_ == 0 ? 0.0 : static_cast<double>(weighted_sum_) / static_cast<double>(total_); }
+
+  /// Folds `other` into this histogram. Exact and order-independent: buckets
+  /// (including overflow) and the true-key weighted sum add element-wise, so
+  /// merging shard- or channel-local histograms in any order reproduces the
+  /// serial percentiles AND the serial mean bit-for-bit. This is NOT the same
+  /// as re-adding `other`'s buckets through add(): the overflow bucket would
+  /// re-enter at the clamped key max_key()+1 and corrupt the weighted sum.
+  /// Both histograms must share one geometry.
+  void merge(const Histogram& other) {
+    LD_ASSERT_MSG(max_key_ == other.max_key_, "merging histograms of different geometry");
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+    weighted_sum_ += other.weighted_sum_;
+  }
 
   void reset() {
     for (auto& b : buckets_) b = 0;

@@ -81,6 +81,9 @@ class DramChannel {
   /// Data-bus busy cycles since construction (BWUTIL numerator).
   std::uint64_t bus_busy_cycles() const { return bus_busy_cycles_; }
 
+  /// The channel's timing parameters (read-only; fixed at construction).
+  const DramTiming& timing() const { return t_; }
+
  private:
   bool bus_available(CommandKind kind, Cycle now) const;
 

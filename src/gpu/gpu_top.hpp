@@ -22,6 +22,7 @@
 #include "core/value_predictor.hpp"
 #include "dram/address.hpp"
 #include "gpu/functional_memory.hpp"
+#include "gpu/shard.hpp"
 #include "gpu/sm.hpp"
 #include "icnt/crossbar.hpp"
 #include "mem/controller.hpp"
@@ -58,6 +59,18 @@ class GpuTop {
 
   /// Runs until the workload finishes and the memory system drains, or
   /// `max_core_cycles` elapse. Returns true iff it finished.
+  ///
+  /// With GpuConfig::shard_threads == 0 this is the legacy cycle-by-cycle
+  /// loop. Otherwise the event-wheel driver runs: whenever the serial side
+  /// (SMs, crossbars, partition front-ends) has no work before the earliest
+  /// cross-domain event (a reply becoming poppable, the soonest possible
+  /// CAS data return), the core clock fast-forwards and only the memory
+  /// controllers advance over the gap — each skipping its own quiet spans
+  /// via next_event()/advance_idle(). shard_threads > 1 additionally runs
+  /// those controller-only epochs on a worker-lane pool with per-lane
+  /// telemetry capture, merged in (cycle, channel) order at each barrier.
+  /// Every mode is bit-identical in results and byte-identical in trace
+  /// output (Sharding.* tests, tools/diffcheck).
   bool run(Cycle max_core_cycles = 200'000'000);
 
   /// Advances one core cycle.
@@ -125,6 +138,40 @@ class GpuTop {
   void handle_request_packet(Partition& p, unsigned idx, const icnt::Packet& pkt,
                              bool& stalled);
 
+  // --- Event-wheel / sharded driver (see run()) ---
+
+  /// First future core cycle at which step() could do serial-side work,
+  /// assuming the memory side stays quiet (cross-domain events are bounded
+  /// separately by MemoryController::next_cross_event). Conservative: any
+  /// in-flight crossbar packet, backlog, or due reply degrades to now + 1.
+  Cycle serial_next_event() const;
+
+  /// Event-wheel main loop (shard_threads >= 1).
+  void run_wheel(Cycle max_core_cycles);
+
+  /// Sizes the lane pool and capture buffers on first wheel entry.
+  void init_sharding();
+
+  /// Advances every controller over memory cycles (m0, m1] in lockstep
+  /// (cycle-major, channel order) with direct telemetry emission — the
+  /// serial epoch body. Controllers skip shared quiet spans via the global
+  /// minimum of their next_event horizons.
+  void run_mem_span(Cycle m0, Cycle m1);
+
+  /// Same span, but each lane advances its own channels independently with
+  /// telemetry captured per channel and replayed in (cycle, channel) order
+  /// at the barrier; a strict-checker throw is rethrown after replaying the
+  /// serial prefix of the trace.
+  void run_mem_span_parallel(Cycle m0, Cycle m1);
+
+  /// Advances one channel over (m0, m1], skipping its private quiet spans.
+  /// With `cap` non-null, an exception from tick() is parked in the capture
+  /// slot (stamped with the throwing cycle) instead of propagating.
+  void advance_channel(ChannelId ch, Cycle m0, Cycle m1, ChannelCapture* cap);
+
+  void install_captures();
+  void restore_captures();
+
   GpuConfig cfg_;
   const workloads::Workload& workload_;
   AddressMapper mapper_;
@@ -146,10 +193,19 @@ class GpuTop {
   /// checking is off; used only for stats registration).
   std::vector<check::ProtocolChecker*> checkers_;
 
+  // Sharded-driver state (inert unless cfg_.shard_threads > 1).
+  unsigned lanes_ = 1;                  ///< Worker lanes (capped at channels).
+  std::unique_ptr<ShardPool> pool_;
+  std::vector<ChannelCapture> captures_;  ///< One per channel.
+
   /// Caps on per-core-cycle partition work (ports).
   static constexpr unsigned kInputsPerCycle = 2;
   static constexpr unsigned kRepliesPerCycle = 4;
   static constexpr std::size_t kPendingMcCap = 64;
+  /// Minimum parallel-epoch length in memory cycles; shorter spans run on
+  /// the calling thread (barrier latency would dominate). Execution-strategy
+  /// only — results are bit-identical either way.
+  static constexpr Cycle kParallelSpanMin = 8;
 };
 
 }  // namespace lazydram::gpu

@@ -1,0 +1,168 @@
+#include "gpu/shard.hpp"
+
+namespace lazydram::gpu {
+
+namespace {
+
+/// Spin iterations before a waiter falls back to its condition variable.
+/// Epochs are tens of microseconds, so the common case stays lock-free.
+constexpr unsigned kSpinIters = 4096;
+
+}  // namespace
+
+void drain_captures(std::vector<ChannelCapture>& captures,
+                    telemetry::Tracer* tracer,
+                    telemetry::LifecycleCollector* lifecycle,
+                    Cycle cut_cycle, ChannelId cut_channel) {
+  const std::size_t n = captures.size();
+  const auto included = [&](Cycle cycle, std::size_t ch) {
+    return cycle < cut_cycle ||
+           (cycle == cut_cycle && static_cast<ChannelId>(ch) <= cut_channel);
+  };
+
+  // K-way merge of the trace buffers. Per-channel buffers are nondecreasing
+  // in cycle, so once a head falls past the cut the whole tail does too.
+  if (tracer != nullptr) {
+    std::vector<std::size_t> head(n, 0);
+    for (;;) {
+      std::size_t best = n;
+      Cycle best_cycle = kNeverCycle;
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        auto& entries = captures[ch].sink.entries();
+        if (head[ch] >= entries.size()) continue;
+        const Cycle c = entries[head[ch]].cycle();
+        if (!included(c, ch)) {
+          head[ch] = entries.size();
+          continue;
+        }
+        if (c < best_cycle || (c == best_cycle && ch < best)) {
+          best = ch;
+          best_cycle = c;
+        }
+      }
+      if (best == n) break;
+      const CaptureSink::Entry& e = captures[best].sink.entries()[head[best]++];
+      if (e.is_window) {
+        tracer->emit_window(e.window);
+      } else {
+        tracer->emit(e.event);
+      }
+    }
+  }
+
+  // Same merge over the buffered lifecycle calls. The hooks only mutate
+  // per-request fields, so any replay order would leave identical collector
+  // state; merging keeps the discipline uniform and the cut exact.
+  if (lifecycle != nullptr) {
+    std::vector<std::size_t> head(n, 0);
+    for (;;) {
+      std::size_t best = n;
+      Cycle best_cycle = kNeverCycle;
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        if (captures[ch].lifecycle == nullptr) continue;
+        auto& calls = captures[ch].lifecycle->calls();
+        if (head[ch] >= calls.size()) continue;
+        const Cycle c = calls[head[ch]].stamp;
+        if (!included(c, ch)) {
+          head[ch] = calls.size();
+          continue;
+        }
+        if (c < best_cycle || (c == best_cycle && ch < best)) {
+          best = ch;
+          best_cycle = c;
+        }
+      }
+      if (best == n) break;
+      const CaptureLifecycle::Call& c = captures[best].lifecycle->calls()[head[best]++];
+      switch (c.kind) {
+        case CaptureLifecycle::Call::kGateEnd:
+          lifecycle->on_gate_end(c.id, c.a, c.b);
+          break;
+        case CaptureLifecycle::Call::kCas:
+          lifecycle->on_cas(c.id, c.a);
+          break;
+        case CaptureLifecycle::Call::kDataReturn:
+          lifecycle->on_data_return(c.id, c.a);
+          break;
+        case CaptureLifecycle::Call::kDrop:
+          lifecycle->on_drop(c.id, c.a);
+          break;
+      }
+    }
+  }
+
+  for (ChannelCapture& cap : captures) {
+    cap.sink.entries().clear();
+    if (cap.lifecycle != nullptr) cap.lifecycle->calls().clear();
+  }
+}
+
+ShardPool::ShardPool(unsigned lanes) {
+  const unsigned workers = lanes > 1 ? lanes - 1 : 0;
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i + 1); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::run(const std::function<void(unsigned)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  fn_ = &fn;
+  pending_.store(static_cast<unsigned>(threads_.size()), std::memory_order_relaxed);
+  {
+    // The lock pairs with the predicate check inside the workers' cv wait so
+    // a generation bump can never slip between check and sleep.
+    std::lock_guard<std::mutex> lk(mu_);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  fn(0);
+  unsigned spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++spins >= kSpinIters) {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+      break;
+    }
+  }
+  fn_ = nullptr;
+}
+
+void ShardPool::worker_main(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    unsigned spins = 0;
+    while (gen == seen && !stop_.load(std::memory_order_acquire)) {
+      if (++spins >= kSpinIters) {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] {
+          return generation_.load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
+      }
+      gen = generation_.load(std::memory_order_acquire);
+    }
+    if (gen == seen) return;  // Woken by stop_ with no new work.
+    seen = gen;
+    (*fn_)(lane);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace lazydram::gpu

@@ -1,0 +1,159 @@
+// Sharded-execution support for GpuTop's event-wheel run loop: per-channel
+// telemetry capture buffers plus a small spin-then-sleep worker pool.
+//
+// During a parallel epoch each memory controller advances on its own lane
+// with every telemetry pointer it can reach (tracer — which the controller
+// forwards to its window sampler and the scheduler forwards to DMS/AMS —
+// protocol checker, lifecycle collector) swapped to a lane-local capture.
+// At the epoch barrier the buffered emissions are replayed into the real
+// tracer/collector in ascending (cycle, channel) order — exactly the order
+// the serial cycle-major loop produces — so JSONL/Chrome trace output is
+// byte-identical with sharding on or off. Lane exceptions (the strict
+// protocol checker throws) are parked in the capture slot with their
+// (cycle, channel) stamp; the barrier replays the telemetry prefix up to the
+// earliest throw and rethrows it, matching the serial abort point.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/lifecycle.hpp"
+#include "telemetry/trace.hpp"
+
+namespace lazydram::gpu {
+
+/// TraceSink that buffers every emission for ordered replay at a barrier.
+/// Entries within one capture are nondecreasing in cycle (controllers emit
+/// in tick order), which is what the k-way merge in drain_captures relies on.
+class CaptureSink final : public telemetry::TraceSink {
+ public:
+  struct Entry {
+    bool is_window = false;
+    telemetry::TraceEvent event;     ///< Valid when !is_window.
+    telemetry::WindowSample window;  ///< Valid when is_window.
+    Cycle cycle() const { return is_window ? window.end_cycle : event.cycle; }
+  };
+
+  void on_event(const telemetry::TraceEvent& event) override {
+    Entry e;
+    e.event = event;
+    entries_.push_back(std::move(e));
+  }
+  void on_window(const telemetry::WindowSample& window) override {
+    Entry e;
+    e.is_window = true;
+    e.window = window;
+    entries_.push_back(std::move(e));
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// LifecycleCollector that buffers the four memory-domain hooks (the only
+/// ones a controller tick can fire) for replay at the barrier. In GpuTop
+/// mode none of these opens or closes a record — creation and the
+/// warp-wakeup close are core-domain, i.e. serial-side — so replaying the
+/// calls before the next core step is state-identical to inline delivery.
+class CaptureLifecycle final : public telemetry::LifecycleCollector {
+ public:
+  CaptureLifecycle() : telemetry::LifecycleCollector(nullptr, 1) {}
+
+  struct Call {
+    enum Kind : std::uint8_t { kGateEnd, kCas, kDataReturn, kDrop };
+    Kind kind = kCas;
+    RequestId id = 0;
+    Cycle a = 0;      ///< gate begin / cas cycle / done cycle / drop cycle.
+    Cycle b = 0;      ///< gate end (kGateEnd only).
+    /// Memory cycle the hook fired at, for the (cycle, channel) merge. The
+    /// wheel forces a real tick at every burst completion and gate close, so
+    /// the stamp equals the call's own cycle argument (end for a gate).
+    Cycle stamp = 0;
+  };
+
+  void on_gate_end(RequestId id, Cycle begin_mem, Cycle end_mem) override {
+    calls_.push_back({Call::kGateEnd, id, begin_mem, end_mem, end_mem});
+  }
+  void on_cas(RequestId id, Cycle now_mem) override {
+    calls_.push_back({Call::kCas, id, now_mem, 0, now_mem});
+  }
+  void on_data_return(RequestId id, Cycle done_mem) override {
+    calls_.push_back({Call::kDataReturn, id, done_mem, 0, done_mem});
+  }
+  void on_drop(RequestId id, Cycle now_mem) override {
+    calls_.push_back({Call::kDrop, id, now_mem, 0, now_mem});
+  }
+
+  std::vector<Call>& calls() { return calls_; }
+
+ private:
+  std::vector<Call> calls_;
+};
+
+/// Per-channel capture bundle a lane plugs into its controller for the span
+/// of one parallel epoch. The tracer facade must be pointed at `sink` once
+/// after construction (GpuTop does this when it sizes the vector).
+struct ChannelCapture {
+  telemetry::Tracer tracer;
+  CaptureSink sink;
+  std::unique_ptr<CaptureLifecycle> lifecycle;  ///< Created on demand.
+  std::exception_ptr error;                     ///< Strict-checker throw.
+  Cycle error_cycle = 0;                        ///< Mem cycle of the throw.
+};
+
+/// Replays every buffered emission and lifecycle call into the real
+/// consumers in ascending (cycle, channel) order — the serial loop's
+/// emission order — then clears the buffers. Entries lexicographically past
+/// (cut_cycle, cut_channel) are discarded: when a strict checker threw at
+/// that point, the replayed stream is the exact prefix the serial run would
+/// have written before aborting. Either consumer may be null.
+void drain_captures(std::vector<ChannelCapture>& captures,
+                    telemetry::Tracer* tracer,
+                    telemetry::LifecycleCollector* lifecycle,
+                    Cycle cut_cycle = kNeverCycle,
+                    ChannelId cut_channel = std::numeric_limits<ChannelId>::max());
+
+/// Persistent worker pool for parallel epochs. run(fn) invokes fn(lane) for
+/// lanes 0..N-1 concurrently — lane 0 on the calling thread — and returns
+/// once every lane finished. Workers spin briefly on a generation counter
+/// before falling back to a condition variable, keeping barrier latency low
+/// for the short epochs the wheel produces. `fn` must not throw: lanes park
+/// failures in their ChannelCapture slots instead.
+class ShardPool {
+ public:
+  /// Spawns `lanes - 1` worker threads (lane 0 runs on the caller).
+  explicit ShardPool(unsigned lanes);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  unsigned lanes() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_main(unsigned lane);
+
+  std::vector<std::thread> threads_;
+  const std::function<void(unsigned)>* fn_ = nullptr;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<unsigned> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace lazydram::gpu

@@ -14,6 +14,7 @@
 // resources (crossbar slot, MSHR table) stay active and poll.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <queue>
 #include <vector>
@@ -49,6 +50,22 @@ class Sm {
   void on_reply(const icnt::Packet& packet);
 
   bool all_done() const { return done_warps_ == warps_.size(); }
+
+  /// First future cycle at which tick() could change any state, assuming no
+  /// reply arrives in between (replies are external events the caller
+  /// accounts for separately). While any warp is active — or a multi-line
+  /// memory op owns the LSU — the SM polls every cycle. Otherwise the only
+  /// self-wakes are the head L1-hit completion (FIFO: constant latency keeps
+  /// it sorted) and the earliest compute timer. Skipping the gap is bit-exact
+  /// because an idle tick() touches nothing: stall_cycles_ only advances
+  /// inside try_issue, which an empty active list never reaches.
+  Cycle next_event(Cycle now) const {
+    if (lsu_owner_ >= 0 || !active_.empty()) return now + 1;
+    Cycle ev = kNeverCycle;
+    if (!completions_.empty()) ev = std::min(ev, completions_.front().first);
+    if (!timers_.empty()) ev = std::min(ev, timers_.top().first);
+    return ev > now ? ev : now + 1;
+  }
 
   SmId id() const { return id_; }
   std::uint64_t instructions() const { return instructions_; }

@@ -275,20 +275,27 @@ void MemoryController::tick(Cycle now_mem) {
   if (recorder_ != nullptr) recorder_->on_delay(now_mem, probe.dms_delay);
 
   // The none_until horizons assumed a constant DMS delay; drop them all on
-  // a delay change (rare: at most once per profiling window).
+  // a delay change (rare: at most once per profiling window). The retry
+  // memos must go too: a retry horizon bounds when the bank's *chosen*
+  // command becomes legal, but a delay change can un-gate a different
+  // request (e.g. a younger row hit) whose command is legal immediately —
+  // the choice the memo froze is stale, not just its timing.
   if (fast_path_ && probe.dms_delay != last_dms_delay_) {
     last_dms_delay_ = probe.dms_delay;
     std::fill(bank_none_until_.begin(), bank_none_until_.end(), Cycle{0});
+    std::fill(bank_retry_at_.begin(), bank_retry_at_.end(), Cycle{0});
     cmd_wake_ = 0;
     drop_wake_ = 0;
   }
 
   // Idle short-circuit: with no pending requests there is no request to
   // drop or advance, and under open-row policy no command to issue at all —
-  // the whole per-bank machinery is skipped. (may_drop() stays true while a
-  // drain awaits lazy retirement, which keeps the drop pass visiting it.)
+  // the whole per-bank machinery is skipped. The one empty-queue case with
+  // drop-pass work is an active drain awaiting lazy retirement (the pass
+  // must keep visiting that bank), hence draining(), not may_drop(): budget
+  // headroom alone gives the pass nothing to visit.
   const bool idle_cycle = fast_path_ && queue_.empty() &&
-                          !(drops_possible_ && scheduler_->may_drop()) &&
+                          !(drops_possible_ && scheduler_->draining()) &&
                           row_policy_ == RowPolicy::kOpenRow;
   if (!idle_cycle) {
     // At most one AMS drop per cycle ("dropped sequentially in the following
@@ -379,6 +386,74 @@ void MemoryController::tick(Cycle now_mem) {
   if (sampler_ != nullptr) {
     fill_channel_counters(probe, now_mem);
     sampler_->tick(now_mem, probe);
+  }
+}
+
+Cycle MemoryController::next_event(Cycle now) const {
+  // Conservative bail-outs: without the fast-path invariants there are no
+  // wake memos to reason from; the closed-row ablation issues idle
+  // precharges from unmemoized banks; a stream recorder logs the DMS delay
+  // every tick. In all three cases every cycle must run for real.
+  if (!fast_path_ || row_policy_ != RowPolicy::kOpenRow || recorder_ != nullptr)
+    return now + 1;
+
+  Cycle ev = next_burst_done_;  // Completion scan has work at this cycle.
+  ev = std::min(ev, scheduler_->next_tick_event(now));
+  if (checker_ != nullptr) ev = std::min(ev, checker_->next_tick_event(queue_, now));
+  if (sampler_ != nullptr) ev = std::min(ev, sampler_->next_boundary());
+
+  const bool may_drop = drops_possible_ && scheduler_->may_drop();
+  if (queue_.empty()) {
+    // The idle short-circuit skips both passes — unless a drain awaiting
+    // lazy retirement keeps the drop pass visiting its bank (every visit
+    // mutates scheduler state, so those cycles are not no-ops). Budget
+    // headroom alone (may_drop() on an empty queue) gives the pass nothing
+    // to visit and stays skippable.
+    if (drops_possible_ && scheduler_->draining()) return now + 1;
+  } else {
+    // The command pass is parked until cmd_wake_ (and the drop pass until
+    // drop_wake_); a wake at or before `now` means the pass runs next cycle.
+    ev = std::min(ev, cmd_wake_ > now ? cmd_wake_ : now + 1);
+    if (may_drop) ev = std::min(ev, drop_wake_ > now ? drop_wake_ : now + 1);
+  }
+  return ev > now ? ev : now + 1;
+}
+
+Cycle MemoryController::next_cross_event(Cycle now) const {
+  Cycle ev = kNeverCycle;
+  if (!replies_.empty()) {
+    const Cycle ready = replies_.front().ready_cycle;
+    ev = std::min(ev, ready > now ? ready : now + 1);
+  }
+  // A read burst becomes a poppable reply exactly at its done cycle (write
+  // completions are not observable, so this is conservative but sound).
+  ev = std::min(ev, next_burst_done_);
+  if (!queue_.empty()) {
+    // No command can issue before max(now + 1, cmd_wake_), and a read CAS at
+    // cycle c returns data no earlier than c + tCL + tBURST. Drops create a
+    // same-cycle reply, so their bound is the drop pass wake itself.
+    const DramTiming& t = dram_.timing();
+    const Cycle cas = cmd_wake_ > now ? cmd_wake_ : now + 1;
+    ev = std::min(ev, cas + t.tCL + t.tBURST);
+    if (drops_possible_ && scheduler_->may_drop())
+      ev = std::min(ev, drop_wake_ > now ? drop_wake_ : now + 1);
+  }
+  return ev > now ? ev : now + 1;
+}
+
+void MemoryController::advance_idle(Cycle from, Cycle to) {
+  if (to <= from) return;
+  // One past the last replayed cycle, same as tick(to) would leave it.
+  end_mem_ = to + 1;
+  scheduler_->advance_idle(from, to);
+  if (sampler_ != nullptr) {
+    // Only the gauge fields of intermediate probes are ever read (counters
+    // are differenced at window closes, which never fall inside a skipped
+    // span), and all gauges are constant across it.
+    telemetry::WindowProbe probe;
+    scheduler_->fill_probe(probe);
+    probe.queue_size = queue_.size();
+    sampler_->advance(to, to - from, probe);
   }
 }
 

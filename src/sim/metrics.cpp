@@ -70,20 +70,18 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
       }
     }
 
-    const Histogram& h = hub.histogram(channel_stat("dram", ch, "rbl"));
-    for (std::uint64_t k = 0; k < h.bucket_count(); ++k) m.rbl_hist.add(k, h.at(k));
-    const Histogram& hr = hub.histogram(channel_stat("dram", ch, "rbl_readonly"));
-    for (std::uint64_t k = 0; k < hr.bucket_count(); ++k)
-      m.rbl_readonly_hist.add(k, hr.at(k));
+    // Histogram::merge keeps the overflow bucket and the true-key weighted
+    // sum exact; re-adding buckets through add() would fold overflowed
+    // samples back in at the clamped key and skew the merged mean.
+    m.rbl_hist.merge(hub.histogram(channel_stat("dram", ch, "rbl")));
+    m.rbl_readonly_hist.merge(hub.histogram(channel_stat("dram", ch, "rbl_readonly")));
 
     const std::uint64_t lat_count =
         hub.counter(channel_stat("mem", ch, "read_latency_count"));
     latency_weighted += hub.gauge(channel_stat("mem", ch, "read_latency_mean")) *
                         static_cast<double>(lat_count);
     latency_count += lat_count;
-    const Histogram& hl = hub.histogram(channel_stat("mem", ch, "read_latency"));
-    for (std::uint64_t k = 0; k < hl.bucket_count(); ++k)
-      m.read_latency_hist.add(k, hl.at(k));
+    m.read_latency_hist.merge(hub.histogram(channel_stat("mem", ch, "read_latency")));
 
     l2_hits += hub.counter(channel_stat("cache.l2", ch, "hits"));
     l2_accesses += hub.counter(channel_stat("cache.l2", ch, "accesses"));
@@ -150,9 +148,7 @@ RunMetrics collect_metrics(const gpu::GpuTop& gpu, const workloads::Workload& wo
         tm.reads_received += mc.tenant_reads_received(t);
         tm.reads_served += mc.tenant_reads_served(t);
         tm.drops += mc.tenant_reads_dropped(t);
-        const Histogram& h = mc.tenant_read_latency_hist(t);
-        for (std::uint64_t k = 0; k < h.bucket_count(); ++k)
-          tm.read_latency_hist.add(k, h.at(k));
+        tm.read_latency_hist.merge(mc.tenant_read_latency_hist(t));
       }
       tm.coverage = tm.reads_received == 0
                         ? 0.0

@@ -51,6 +51,23 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
                pw.c_str());
   }
 
+  // Sharded run loop: LAZYDRAM_SHARD=N partitions the memory controllers
+  // over N worker lanes inside the event-wheel driver (0 = legacy loop,
+  // 1 = event wheel on one thread). Results and trace output are
+  // bit-identical for every value; an explicit RunConfig/GpuConfig setting
+  // wins over the environment.
+  if (cfg.shard_threads == 0) {
+    if (const std::string sh = telemetry::env_string("LAZYDRAM_SHARD"); !sh.empty()) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(sh.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && v <= 64)
+        cfg.shard_threads = static_cast<unsigned>(v);
+      else
+        log_warn("LAZYDRAM_SHARD='%s' not recognized (want an integer 0..64); ignored",
+                 sh.c_str());
+    }
+  }
+
   // Resolve the scheduler policy, most explicit first: a non-default
   // RunConfig::policy (legacy PolicyKind), then a configured
   // GpuConfig::policy.name, then $LAZYDRAM_POLICY, else "lazy". All paths

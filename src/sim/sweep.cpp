@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <thread>
 
 #include "common/log.hpp"
@@ -76,11 +77,20 @@ std::vector<SweepResult> SweepEngine::run(std::vector<SweepJob> sweep_jobs) {
   const std::string check_mode =
       !check_override_.empty() ? check_override_
                                : telemetry::env_string("LAZYDRAM_CHECK");
-  for (SweepJob& job : sweep_jobs) {
+  // Two jobs may carry the same label (callers build labels from workload x
+  // scheme grids, and repeated jobs are legitimate); label-derived paths
+  // would then silently overwrite each other. Disambiguate duplicates with
+  // the submission index, which is unique and stable across `jobs` settings.
+  std::map<std::string, unsigned> label_uses;
+  for (const SweepJob& job : sweep_jobs) ++label_uses[sanitize_label(job.label)];
+  for (std::size_t i = 0; i < sweep_jobs.size(); ++i) {
+    SweepJob& job = sweep_jobs[i];
+    std::string leaf = job.label;
+    if (label_uses[sanitize_label(job.label)] > 1) leaf += "." + std::to_string(i);
     if (job.config.trace_path.empty() && !env_trace.empty())
-      job.config.trace_path = derived_output_path(env_trace, job.label);
+      job.config.trace_path = derived_output_path(env_trace, leaf);
     if (job.config.json_report_path.empty() && !env_json.empty())
-      job.config.json_report_path = derived_output_path(env_json, job.label);
+      job.config.json_report_path = derived_output_path(env_json, leaf);
     if (job.config.check.empty()) job.config.check = check_mode;
   }
 

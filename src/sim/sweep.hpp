@@ -9,7 +9,10 @@
 //     reports built from a sweep are byte-identical whatever `jobs` is.
 //   * Telemetry isolation: when $LAZYDRAM_TRACE / $LAZYDRAM_JSON ask for
 //     per-run output files, each job writes to a path derived from its label
-//     (trace.jsonl -> trace.<label>.jsonl) instead of racing on one file.
+//     (trace.jsonl -> trace.<label>.jsonl) instead of racing on one file;
+//     jobs sharing a label (or whose labels sanitize to the same file name)
+//     additionally get their submission index spliced in, so no two jobs
+//     ever write the same derived path.
 //   * Fault isolation: an exception inside one job is captured into that
 //     job's SweepResult; the remaining jobs still run.
 #pragma once

@@ -131,6 +131,51 @@ TEST(Histogram, PercentileAllMassInOverflow) {
   EXPECT_EQ(h.at(h.percentile(0.5)), 7u);
 }
 
+// Regression: merge() must add buckets AND the true-key weighted sum
+// element-wise. Replaying the other histogram through add() re-enters its
+// overflow samples at the clamped key, corrupting the mean and making the
+// result depend on which shard merged first.
+TEST(Histogram, MergeIsExactAndOrderIndependentWithOverflow) {
+  Histogram serial(8);
+  Histogram a(8);
+  Histogram b(8);
+  // Shard a: in-range mass plus overflow at true key 20.
+  const std::uint64_t shard_a[][2] = {{1, 3}, {8, 2}, {20, 4}};
+  for (const auto& s : shard_a) {
+    serial.add(s[0], s[1]);
+    a.add(s[0], s[1]);
+  }
+  // Shard b: different in-range mass plus overflow at true key 100.
+  const std::uint64_t shard_b[][2] = {{2, 5}, {100, 1}};
+  for (const auto& s : shard_b) {
+    serial.add(s[0], s[1]);
+    b.add(s[0], s[1]);
+  }
+
+  Histogram ab(8);
+  ab.merge(a);
+  ab.merge(b);
+  Histogram ba(8);
+  ba.merge(b);
+  ba.merge(a);
+
+  for (const Histogram* m : {&ab, &ba}) {
+    EXPECT_EQ(m->total(), serial.total());
+    EXPECT_DOUBLE_EQ(m->mean(), serial.mean());  // True-key mean survives.
+    for (std::uint64_t k = 0; k <= serial.max_key() + 1; ++k)
+      EXPECT_EQ(m->at(k), serial.at(k)) << "bucket " << k;
+    EXPECT_EQ(m->percentile(0.5), serial.percentile(0.5));
+    EXPECT_EQ(m->percentile(1.0), serial.percentile(1.0));
+  }
+  // The naive replay-through-add() would have produced this corrupted mean;
+  // make sure merge() does not.
+  Histogram naive(8);
+  naive.merge(a);
+  for (std::uint64_t k = 0; k <= b.max_key() + 1; ++k)
+    if (b.at(k) > 0) naive.add(k, b.at(k));
+  EXPECT_NE(naive.mean(), serial.mean());
+}
+
 TEST(Histogram, PercentileP100IsMax) {
   Histogram h(64);
   h.add(3, 10);

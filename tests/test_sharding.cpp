@@ -1,0 +1,232 @@
+// Sharded run-loop tests: the event-wheel driver (shard_threads >= 1) and
+// the worker-lane epochs (shard_threads > 1) must be bit-identical to the
+// legacy cycle-by-cycle loop in every metric and byte-identical in every
+// trace/report output — sharding is an execution strategy, never a model
+// change. Also home to the stale-memo regression (DMS delay changes must
+// invalidate the controller's bank horizon memos).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/lazy_scheduler.hpp"
+#include "core/scheduler_registry.hpp"
+#include "core/scheme.hpp"
+#include "dram/address.hpp"
+#include "mem/controller.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/mix.hpp"
+#include "workloads/registry.hpp"
+
+namespace lazydram {
+namespace {
+
+void expect_metrics_equal(const sim::RunMetrics& a, const sim::RunMetrics& b,
+                          const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_TRUE(a.finished);
+  ASSERT_TRUE(b.finished);
+  EXPECT_EQ(a.core_cycles, b.core_cycles);
+  EXPECT_EQ(a.mem_cycles, b.mem_cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.dram_reads, b.dram_reads);
+  EXPECT_EQ(a.dram_writes, b.dram_writes);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.reads_received, b.reads_received);
+  EXPECT_DOUBLE_EQ(a.avg_rbl, b.avg_rbl);
+  EXPECT_DOUBLE_EQ(a.total_energy_nj, b.total_energy_nj);
+  EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+  EXPECT_DOUBLE_EQ(a.avg_delay, b.avg_delay);
+  EXPECT_DOUBLE_EQ(a.avg_th_rbl, b.avg_th_rbl);
+  EXPECT_DOUBLE_EQ(a.bwutil, b.bwutil);
+}
+
+sim::RunMetrics run_sharded(const workloads::Workload& wl, core::SchemeKind kind,
+                            unsigned shard) {
+  sim::RunConfig config;
+  config.spec = core::make_scheme_spec(kind, config.gpu.scheme);
+  config.compute_error = false;
+  config.gpu.shard_threads = shard;
+  config.ignore_env_outputs = true;
+  return sim::simulate(wl, config);
+}
+
+// The tentpole guarantee, proven rather than assumed: for every scheme of
+// the paper's matrix on three workloads, the legacy loop (shard 0), the
+// serial event wheel (shard 1) and four worker lanes (shard 4) produce
+// bit-identical metrics.
+TEST(Sharding, LockstepAcrossSchemesAndWorkloads) {
+  for (const char* name : {"SCP", "CONS", "MVT"}) {
+    const auto wl = workloads::make_workload(name);
+    ASSERT_NE(wl, nullptr);
+    for (const core::SchemeKind kind : core::all_schemes()) {
+      const std::string what =
+          std::string(name) + " / " + core::scheme_name(kind);
+      const sim::RunMetrics legacy = run_sharded(*wl, kind, 0);
+      const sim::RunMetrics wheel = run_sharded(*wl, kind, 1);
+      const sim::RunMetrics lanes = run_sharded(*wl, kind, 4);
+      expect_metrics_equal(legacy, wheel, what + " (wheel)");
+      expect_metrics_equal(legacy, lanes, what + " (4 lanes)");
+    }
+  }
+}
+
+// Multi-tenant front-end over the sharded driver: three tenants with
+// distinct kernels, budgets and think times, run under the full Dyn-DMS+AMS
+// scheme with per-tenant QoS caps.
+TEST(Sharding, MixWorkloadLockstep) {
+  std::vector<workloads::MixTenant> tenants(3);
+  tenants[0].kernels = {"SCP"};
+  tenants[0].warps = 60;
+  tenants[0].coverage_cap = 0.05;
+  tenants[1].kernels = {"CONS"};
+  tenants[1].warps = 60;
+  tenants[1].think = 2000;
+  tenants[2].kernels = {"MVT"};
+  tenants[2].warps = 60;
+  tenants[2].approx = false;
+  const workloads::MixWorkload mix(tenants, /*seed=*/7);
+
+  sim::RunConfig config;
+  config.spec = core::make_scheme_spec(core::SchemeKind::kDynCombo, config.gpu.scheme);
+  config.compute_error = false;
+  config.ignore_env_outputs = true;
+  for (const workloads::MixTenant& t : tenants) {
+    TenantQos qos;
+    qos.coverage_cap = t.coverage_cap;
+    qos.dms_delay_cap = t.dms_delay_cap;
+    config.gpu.scheme.tenant_qos.push_back(qos);
+  }
+
+  sim::RunConfig wheel = config;
+  wheel.gpu.shard_threads = 1;
+  sim::RunConfig lanes = config;
+  lanes.gpu.shard_threads = 4;
+
+  const sim::RunMetrics legacy = sim::simulate(mix, config);
+  const sim::RunMetrics a = sim::simulate(mix, wheel);
+  const sim::RunMetrics b = sim::simulate(mix, lanes);
+  expect_metrics_equal(legacy, a, "mix (wheel)");
+  expect_metrics_equal(legacy, b, "mix (4 lanes)");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The JSON report embeds host wall-clock profile fields; excise that one
+// flat object before comparing (everything else must match to the byte).
+std::string strip_profile(std::string json) {
+  const std::size_t key = json.find("\"profile\"");
+  if (key == std::string::npos) return json;
+  const std::size_t end = json.find('}', key);
+  if (end == std::string::npos) return json;
+  json.erase(key, end - key + 2);  // Includes the trailing "},".
+  return json;
+}
+
+// Telemetry is drained from per-lane buffers in (cycle, channel) order at
+// each barrier, so the JSONL trace and the JSON report (windows, stats,
+// lifecycle) are byte-identical between one lane and four.
+TEST(Sharding, ShardedTraceAndReportByteIdentical) {
+  const auto wl = workloads::make_workload("SCP");
+  ASSERT_NE(wl, nullptr);
+
+  std::string traces[2], reports[2];
+  const unsigned shards[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    const std::string base =
+        ::testing::TempDir() + "shard" + std::to_string(shards[i]);
+    sim::RunConfig config;
+    config.spec = core::make_scheme_spec(core::SchemeKind::kDynCombo, config.gpu.scheme);
+    config.compute_error = false;
+    config.ignore_env_outputs = true;
+    config.gpu.shard_threads = shards[i];
+    config.trace_path = base + ".trace.jsonl";
+    config.json_report_path = base + ".report.json";
+    const sim::RunMetrics m = sim::simulate(*wl, config);
+    ASSERT_TRUE(m.finished);
+    traces[i] = read_file(config.trace_path);
+    reports[i] = read_file(config.json_report_path);
+    std::remove(config.trace_path.c_str());
+    std::remove(config.json_report_path.c_str());
+  }
+  ASSERT_FALSE(traces[0].empty());
+  ASSERT_FALSE(reports[0].empty());
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(strip_profile(reports[0]), strip_profile(reports[1]));
+}
+
+// Regression (stale horizon memos): the controller memoizes per-bank retry
+// and none-until horizons plus pass-level wakes under the DMS delay in force
+// when they were recorded. Dyn-DMS moves that delay at window boundaries —
+// including large downward jumps at search restarts — and a memo recorded
+// under the old delay would otherwise park a newly-eligible bank past its
+// legal service cycle. The fix clears every memo on a delay edge; with it,
+// fast-path on/off runs are command-for-command identical. Small windows and
+// frequent restarts make this fail deterministically on the stale-memo bug.
+TEST(Sharding, DelayChangeInvalidatesHorizonMemos) {
+  GpuConfig cfg;
+  cfg.scheme.profile_window = 64;
+  cfg.scheme.windows_per_restart = 2;
+  cfg.scheme.delay_step = 256;
+  cfg.scheme.max_delay = 2048;
+  cfg.validate();
+  const AddressMapper mapper(cfg);
+  const core::SchemeSpec spec =
+      core::make_scheme_spec(core::SchemeKind::kDynDms, cfg.scheme);
+
+  GpuConfig cfg_off = cfg;
+  cfg_off.fast_path = false;
+
+  auto make = [&](const GpuConfig& c) {
+    std::unique_ptr<Scheduler> sched = core::make_scheduler(c, spec);
+    return std::make_unique<MemoryController>(c, 0, mapper, std::move(sched),
+                                              RowPolicy::kOpenRow);
+  };
+  auto fast = make(cfg);
+  auto slow = make(cfg_off);
+
+  // A steady precise row-miss stream (every request a fresh row) keeps banks
+  // age-gated almost continuously, so delay edges land mid-gate.
+  RequestId next_id = 1;
+  std::uint32_t row = 1;
+  Cycle now = 0;
+  for (; now < 6000; ++now) {
+    if (now % 37 == 0) {
+      MemRequest r;
+      r.id = next_id++;
+      r.line_addr = mapper.compose(0, /*bank=*/row % 4, /*row=*/row, 0);
+      r.kind = AccessKind::kRead;
+      ++row;
+      fast->enqueue(r, now);
+      slow->enqueue(r, now);
+    }
+    fast->tick(now);
+    slow->tick(now);
+    while (auto rep = fast->pop_reply(now)) {
+    }
+    while (auto rep = slow->pop_reply(now)) {
+    }
+    ASSERT_EQ(fast->reads_served(), slow->reads_served()) << "cycle " << now;
+    ASSERT_EQ(fast->channel().activations(), slow->channel().activations())
+        << "cycle " << now;
+  }
+  fast->finalize();
+  slow->finalize();
+  EXPECT_GT(fast->reads_served(), 0u);
+  EXPECT_EQ(fast->read_latency().count(), slow->read_latency().count());
+  EXPECT_DOUBLE_EQ(fast->read_latency().mean(), slow->read_latency().mean());
+}
+
+}  // namespace
+}  // namespace lazydram

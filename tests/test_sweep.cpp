@@ -4,6 +4,7 @@
 // derived telemetry paths and the merged sweep report.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -196,6 +197,47 @@ TEST(SweepPaths, DerivedOutputPathSplicesLabelBeforeExtension) {
   EXPECT_EQ(sim::derived_output_path("report", "x"), "report.x");
   // A dot in a directory name is not an extension.
   EXPECT_EQ(sim::derived_output_path("a.b/report", "x"), "a.b/report.x");
+}
+
+// Regression: two jobs carrying the same label used to derive the same
+// telemetry path and silently overwrite each other's report. Duplicate
+// labels now get the submission index spliced in, so every job keeps its
+// own file.
+TEST_F(SweepReport, DuplicateLabelsGetDistinctDerivedPaths) {
+  const std::string base = ::testing::TempDir() + "dup_report.json";
+  ::setenv("LAZYDRAM_JSON", base.c_str(), 1);
+
+  std::vector<sim::SweepJob> jobs(2);
+  jobs[0].workload = "SCP";
+  jobs[0].config.compute_error = false;
+  jobs[0].label = "SCP|base";
+  jobs[1].workload = "SCP";
+  jobs[1].config.compute_error = false;
+  jobs[1].config.spec =
+      core::make_static_dms_spec(128, jobs[1].config.gpu.scheme);
+  jobs[1].label = "SCP|base";  // Same label, different scheme.
+
+  sim::SweepEngine engine(1);
+  const std::vector<sim::SweepResult> r = engine.run(jobs);
+  ::unsetenv("LAZYDRAM_JSON");
+  ASSERT_EQ(r.size(), 2u);
+  ASSERT_TRUE(r[0].ok) << r[0].error;
+  ASSERT_TRUE(r[1].ok) << r[1].error;
+
+  const std::string path0 =
+      sim::derived_output_path(base, std::string("SCP|base") + ".0");
+  const std::string path1 =
+      sim::derived_output_path(base, std::string("SCP|base") + ".1");
+  ASSERT_NE(path0, path1);
+  const std::string doc0 = read_file(path0);
+  const std::string doc1 = read_file(path1);
+  EXPECT_FALSE(doc0.empty()) << path0;
+  EXPECT_FALSE(doc1.empty()) << path1;
+  // Each report reflects its own job's scheme, proving neither overwrote
+  // the other.
+  EXPECT_NE(doc0, doc1);
+  std::remove(path0.c_str());
+  std::remove(path1.c_str());
 }
 
 TEST_F(SweepReport, MergedReportContainsRunsThenProfile) {

@@ -40,10 +40,17 @@ def main():
     ap.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
     ap.add_argument("--max-slowdown", type=float, default=2.0,
                     help="fail if wall time exceeds baseline by this factor")
+    ap.add_argument("--min-shard-speedup", type=float, default=3.0,
+                    help="fail if sharded.speedup falls below this (only "
+                         "checked when the baseline carries a sharded lane; "
+                         "0 disables, for reports from trace-mode runs that "
+                         "skip the sharded lane)")
     args = ap.parse_args()
 
-    cur = by_scheme(load(args.current))
-    base = by_scheme(load(args.baseline))
+    cur_report = load(args.current)
+    base_report = load(args.baseline)
+    cur = by_scheme(cur_report)
+    base = by_scheme(base_report)
     if not cur or not base:
         print("check_perf: report has no schemes[]", file=sys.stderr)
         sys.exit(2)
@@ -63,6 +70,29 @@ def main():
             verdict = f"  REGRESSION (> {args.max_slowdown:.1f}x)"
         print(f"{name:<16} {b['wall_seconds']:>9.3f} {c['wall_seconds']:>11.3f} "
               f"{ratio:>6.2f}x{verdict}")
+
+    # Sharded-lane gate: the event-wheel + worker-lane driver must keep its
+    # wall-clock edge over the per-tick loop. The speedup is a same-machine
+    # same-run ratio (legacy wall / sharded wall from ONE report), so unlike
+    # the absolute wall times above it is robust to runner speed — a single
+    # core still clears the bar because the gain comes from the wheel's idle
+    # skipping, not lane parallelism. Only enforced when the baseline carries
+    # a sharded lane, so trace-mode reports (which skip it) stay gateable.
+    base_shard = base_report.get("sharded")
+    if base_shard is not None and args.min_shard_speedup > 0:
+        cur_shard = cur_report.get("sharded")
+        if cur_shard is None:
+            print("check_perf: current report lacks the sharded lane",
+                  file=sys.stderr)
+            failed.append("sharded")
+        else:
+            speedup = cur_shard.get("speedup", 0.0)
+            verdict = ""
+            if speedup < args.min_shard_speedup:
+                failed.append("sharded")
+                verdict = f"  REGRESSION (< {args.min_shard_speedup:.1f}x)"
+            print(f"{'sharded':<16} {base_shard.get('speedup', 0.0):>8.2f}x "
+                  f"{speedup:>10.2f}x {'':>7}{verdict}")
 
     if failed:
         print(f"check_perf: FAILED for {', '.join(failed)}", file=sys.stderr)
