@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   // `--check strict|log` (or $LAZYDRAM_CHECK) runs every simulation under
   // the DRAM protocol checker; CI uses this as its checked fig12 smoke.
   runner.set_check(sim::parse_check(argc, argv));
+  // `--self-profile` arms the wall-clock zone profiler (self_profile section
+  // in per-run JSON reports); `--heartbeat SECONDS` prints live run-health
+  // lines to stderr. Both also respond to $LAZYDRAM_SELFPROF/HEARTBEAT.
+  runner.set_self_profile(sim::parse_self_profile(argc, argv));
+  runner.set_heartbeat(sim::parse_heartbeat(argc, argv));
   const std::vector<core::SchemeKind> schemes = {
       core::SchemeKind::kStaticDms,   core::SchemeKind::kDynDms,
       core::SchemeKind::kStaticAms,   core::SchemeKind::kDynAms,

@@ -414,6 +414,65 @@ ShardedPerf drive_sharded(Cycle cycles_per_channel, unsigned shard) {
   return perf;
 }
 
+// ---------------------------------------------------------------------------
+// Self-profiler overhead lane: the same end-to-end SCP run with the whole
+// self-observability layer off (profiler disarmed, flight recorder depth 0)
+// vs on (profiler armed, heartbeat armed-but-silent, flight at its default
+// depth). The on/off wall ratio is the overhead CI gates at 5%
+// (check_perf.py --max-selfprof-overhead 1.05), and LD_ASSERT enforces the
+// bit-identity contract: both runs must retire the same core-cycle count.
+// ---------------------------------------------------------------------------
+
+struct SelfProfPerf {
+  double off_wall = 0.0;
+  double on_wall = 0.0;
+  double overhead() const { return off_wall == 0.0 ? 0.0 : on_wall / off_wall; }
+};
+
+SelfProfPerf measure_selfprof_overhead(unsigned shard) {
+  sim::RunConfig off_cfg;
+  off_cfg.gpu.shard_threads = shard;
+  off_cfg.spec =
+      core::make_scheme_spec(core::SchemeKind::kDynCombo, off_cfg.gpu.scheme);
+  off_cfg.ignore_env_outputs = true;
+  off_cfg.flight_depth = 0;
+  sim::RunConfig on_cfg = off_cfg;
+  on_cfg.flight_depth =
+      static_cast<std::int64_t>(telemetry::FlightRecorder::kDefaultDepth);
+  on_cfg.gpu.self_profile = true;
+  // Armed but silent: the heartbeat deadline checks are on the measured path,
+  // the period just never elapses within the run.
+  on_cfg.gpu.heartbeat_seconds = 3600.0;
+
+  const auto wl = workloads::make_scp();
+  SelfProfPerf perf;
+  Cycle off_cycles = 0, on_cycles = 0;
+  // Interleaved best-of-3, same estimator as the sharded lane. The arm
+  // switch is process-global, so each rep disarms before the off run and
+  // lets on_cfg re-arm; reset() drops the zone data a rep accumulated.
+  // ($LAZYDRAM_SELFPROF=1 would arm the off runs too and void the
+  // measurement — don't set it around --perf.)
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    telemetry::SelfProfiler::set_enabled(false);
+    const auto off = sim::simulate_full(*wl, off_cfg);
+    if (rep == 0 || off.telemetry.profile.run_seconds < perf.off_wall)
+      perf.off_wall = off.telemetry.profile.run_seconds;
+    off_cycles = off.metrics.core_cycles;
+
+    telemetry::SelfProfiler::instance().reset();
+    const auto on = sim::simulate_full(*wl, on_cfg);
+    if (rep == 0 || on.telemetry.profile.run_seconds < perf.on_wall)
+      perf.on_wall = on.telemetry.profile.run_seconds;
+    on_cycles = on.metrics.core_cycles;
+  }
+  telemetry::SelfProfiler::set_enabled(false);
+  telemetry::SelfProfiler::instance().reset();
+  LD_ASSERT_MSG(off_cycles == on_cycles,
+                "self-profiled run diverged from the unprofiled run");
+  return perf;
+}
+
 /// File-name-safe spelling of a scheme label ("Dyn-DMS+AMS" -> "Dyn_DMS_AMS").
 std::string scheme_file_name(const std::string& scheme) {
   std::string out = scheme;
@@ -477,6 +536,17 @@ int run_perf(const std::string& out_path, Cycle cycles_per_scheme,
     total_wall += sharded.legacy_wall + sharded.wheel_wall + sharded.sharded_wall;
   }
 
+  // Self-profiler overhead lane (untraced only — tracing already dominates
+  // the traced lane's overhead, and the gate is about the default path).
+  SelfProfPerf selfprof;
+  if (trace_dir.empty()) {
+    selfprof = measure_selfprof_overhead(shard);
+    std::printf("perf  %-16s %8.3f s on / %8.3f s off  (%.3fx overhead)\n",
+                "selfprof:e2e", selfprof.on_wall, selfprof.off_wall,
+                selfprof.overhead());
+    total_wall += selfprof.on_wall + selfprof.off_wall;
+  }
+
   // One end-to-end run (full GPU model, all channels) so controller-level
   // wins that evaporate at system level would show up in the report.
   sim::RunConfig e2e_cfg;
@@ -524,6 +594,12 @@ int run_perf(const std::string& out_path, Cycle cycles_per_scheme,
     w.field("wheel_wall_seconds", sharded.wheel_wall);
     w.field("sharded_wall_seconds", sharded.sharded_wall);
     w.field("speedup", sharded.speedup());
+    w.end_object();
+    w.key("self_profile");
+    w.begin_object();
+    w.field("off_wall_seconds", selfprof.off_wall);
+    w.field("on_wall_seconds", selfprof.on_wall);
+    w.field("overhead", selfprof.overhead());
     w.end_object();
   }
   w.key("end_to_end");

@@ -68,6 +68,8 @@ int main(int argc, char** argv) {
   sim::ExperimentRunner runner;
   runner.set_jobs(sim::parse_jobs(argc, argv));
   runner.set_check(sim::parse_check(argc, argv));
+  runner.set_self_profile(sim::parse_self_profile(argc, argv));
+  runner.set_heartbeat(sim::parse_heartbeat(argc, argv));
 
   struct Lane {
     std::string spec;

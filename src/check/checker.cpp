@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "telemetry/flight.hpp"
 
 namespace lazydram::check {
 
@@ -76,7 +77,14 @@ void ProtocolChecker::report(ViolationKind kind, Cycle cycle, std::int32_t bank,
   const std::string msg =
       fmt("protocol check [%s] ch%u bank %d cycle %" PRIu64 ": %s",
           violation_kind_name(kind), channel_, bank, cycle, detail.c_str());
-  if (opts_.mode == CheckMode::kStrict) throw ViolationError(msg);
+  if (opts_.mode == CheckMode::kStrict) {
+    // Leave forensics before unwinding: the flight rings already hold the
+    // violation event (check_violation above) plus the last-K context. In a
+    // parallel epoch this is deferred and re-issued at the deterministic
+    // rethrow point after the capture drain (GpuTop::run_mem_span_parallel).
+    telemetry::FlightRecorder::dump_all("protocol_violation", msg);
+    throw ViolationError(msg);
+  }
   // Log mode: surface the first few, count the rest (a systematic bug would
   // otherwise flood stderr at one warning per memory cycle).
   if (logged_ < 16) {

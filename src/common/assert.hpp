@@ -7,10 +7,23 @@
 
 namespace lazydram::detail {
 
+/// Crash hook invoked after the failure message is printed, before abort().
+/// The flight recorder (telemetry/flight.cpp) installs itself here so a
+/// failing LD_ASSERT dumps the last-K telemetry events instead of discarding
+/// them. The hook must not assume simulator state is consistent.
+using AssertHook = void (*)(const char* expr, const char* file, int line,
+                            const char* msg);
+
+inline AssertHook& assert_hook() {
+  static AssertHook hook = nullptr;
+  return hook;
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "lazydram assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg ? msg : "");
+  if (AssertHook hook = assert_hook()) hook(expr, file, line, msg);
   std::abort();
 }
 

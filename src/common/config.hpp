@@ -224,6 +224,21 @@ struct GpuConfig {
   /// LAZYDRAM_POWER=off (or =0) disables it for A/B comparison.
   bool power_accounting = true;
 
+  /// Arms the wall-clock self-profiler (telemetry/selfprof) for this run:
+  /// zone trees, per-lane busy/barrier-stall attribution, and the
+  /// self_profile block in the JSON run report. Strictly passive — results
+  /// and trace output are byte-identical either way (proven by
+  /// FlightRecorder.OnIsBitIdentical); the overhead is gated at 5% by
+  /// bench_micro --perf. LAZYDRAM_SELFPROF=1 (or --self-profile on the
+  /// figure benches) enables it for full-simulation runs.
+  bool self_profile = false;
+
+  /// Emits a run-health status line to stderr every this-many wall-clock
+  /// seconds (sim cycles, Mcyc/s, warps done, ETA, queue depths, lane
+  /// utilization). 0 disables. LAZYDRAM_HEARTBEAT=seconds (or --heartbeat)
+  /// selects it for full-simulation runs.
+  double heartbeat_seconds = 0.0;
+
   std::uint64_t seed = 0x1aE5D8A3u;
 
   /// Aborts (LD_ASSERT) if any derived quantity is inconsistent, e.g. cache

@@ -1,12 +1,23 @@
 #include "gpu/gpu_top.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "check/checker.hpp"
 #include "check/context.hpp"
 #include "common/assert.hpp"
+#include "common/log.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/selfprof.hpp"
 
 namespace lazydram::gpu {
+
+namespace {
+double seconds_between(std::chrono::steady_clock::time_point t0,
+                       std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+}  // namespace
 
 GpuTop::GpuTop(const GpuConfig& cfg, const workloads::Workload& workload,
                const SchedulerFactory& factory, RowPolicy row_policy,
@@ -293,10 +304,18 @@ void GpuTop::step() {
   const bool mem_ticked = divider_.tick() > 0;
   mem_now_ = divider_.slow_cycles();
 
+  // Sampled step decomposition: time 1 step in 64 (SM side vs. crossbars vs.
+  // partition/memory front-ends) when the self-profiler is armed. Sampling
+  // keeps the clock reads off 63/64 of the hottest loop in the simulator.
+  const bool sample = self_enabled_ && (core_cycle_ & 63) == 0;
+  std::chrono::steady_clock::time_point t0, t1, t2, t3;
+  if (sample) t0 = std::chrono::steady_clock::now();
   for (auto& sm : sms_) sm->tick(core_cycle_, req_xbar_);
+  if (sample) t1 = std::chrono::steady_clock::now();
   req_xbar_.tick(core_cycle_);
   for (unsigned ch = 0; ch < partitions_.size(); ++ch)
     partition_tick(partitions_[ch], ch, mem_ticked);
+  if (sample) t2 = std::chrono::steady_clock::now();
   reply_xbar_.tick(core_cycle_);
   for (SmId s = 0; s < sms_.size(); ++s)
     while (auto pkt = reply_xbar_.pop(s, core_cycle_)) {
@@ -304,6 +323,18 @@ void GpuTop::step() {
         lifecycle_->on_warp_wakeup(pkt->parent, core_cycle_);
       sms_[s]->on_reply(*pkt);
     }
+  if (sample) {
+    t3 = std::chrono::steady_clock::now();
+    ++self_stats_.step_samples;
+    self_stats_.sm_sample_seconds += seconds_between(t0, t1);
+    // The request crossbar ticks inside the t1..t2 slice with the
+    // partitions; the reply-side crossbar work is t2..t3. Splitting the
+    // request xbar out would cost a fifth clock read for a component that is
+    // a small constant, so it is attributed to the partition slice and the
+    // icnt share reported from the reply side alone is a lower bound.
+    self_stats_.partition_sample_seconds += seconds_between(t1, t2);
+    self_stats_.icnt_sample_seconds += seconds_between(t2, t3);
+  }
 }
 
 void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
@@ -414,20 +445,103 @@ void GpuTop::register_stats(telemetry::TelemetryHub& hub) const {
 }
 
 bool GpuTop::run(Cycle max_core_cycles) {
-  if (cfg_.shard_threads == 0) {
-    while (core_cycle_ < max_core_cycles) {
-      step();
-      // finished() scans every structure; polling every cycle would dominate
-      // runtime, and no workload finishes in under 1k cycles.
-      if ((core_cycle_ & 1023) == 0 && finished()) break;
+  self_enabled_ = telemetry::SelfProfiler::enabled();
+  const bool heartbeat = cfg_.heartbeat_seconds > 0.0;
+  run_start_wall_ = last_heartbeat_ = std::chrono::steady_clock::now();
+  last_heartbeat_core_ = core_cycle_;
+  if (heartbeat) {
+    next_heartbeat_ =
+        run_start_wall_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(cfg_.heartbeat_seconds));
+  }
+  {
+    telemetry::SelfZone zone(cfg_.shard_threads == 0 ? "gpu.run_legacy"
+                                                     : "gpu.run_wheel");
+    if (cfg_.shard_threads == 0) {
+      while (core_cycle_ < max_core_cycles) {
+        step();
+        // finished() scans every structure; polling every cycle would dominate
+        // runtime, and no workload finishes in under 1k cycles.
+        if ((core_cycle_ & 1023) == 0) {
+          if (finished()) break;
+          if (heartbeat) maybe_heartbeat();
+        }
+      }
+    } else {
+      init_sharding();
+      run_wheel(max_core_cycles);
     }
-  } else {
-    init_sharding();
-    run_wheel(max_core_cycles);
+  }
+  if (self_enabled_) {
+    self_stats_.run_wall_seconds +=
+        seconds_between(run_start_wall_, std::chrono::steady_clock::now());
   }
   const bool ok = finished();
   for (Partition& p : partitions_) p.mc->finalize();
   return ok;
+}
+
+GpuTop::WheelSelfStats GpuTop::self_stats() const {
+  WheelSelfStats s = self_stats_;
+  s.lanes = lanes_;
+  s.serial_seconds =
+      std::max(0.0, s.run_wall_seconds - s.mem_serial_seconds -
+                        s.mem_parallel_wall_seconds);
+  if (pool_ != nullptr) {
+    s.lane_busy_seconds = pool_->lane_busy_seconds();
+    double busy = 0.0;
+    for (const double b : s.lane_busy_seconds) busy += b;
+    s.barrier_stall_seconds =
+        std::max(0.0, static_cast<double>(lanes_) * s.pool_wall_seconds - busy);
+  }
+  return s;
+}
+
+void GpuTop::maybe_heartbeat() {
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_heartbeat_) return;
+  next_heartbeat_ =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(cfg_.heartbeat_seconds));
+
+  std::size_t warps_total = 0, warps_done = 0;
+  for (const auto& sm : sms_) {
+    warps_total += sm->resident_warps();
+    warps_done += sm->done_warps();
+  }
+  std::size_t queued = 0;
+  for (const Partition& p : partitions_) queued += p.mc->queue().size();
+
+  const double dt = seconds_between(last_heartbeat_, now);
+  const double mcps =
+      dt > 0.0 ? static_cast<double>(core_cycle_ - last_heartbeat_core_) / dt / 1e6
+               : 0.0;
+  const double elapsed = seconds_between(run_start_wall_, now);
+  const double frac =
+      warps_total > 0 ? static_cast<double>(warps_done) / static_cast<double>(warps_total)
+                      : 0.0;
+  const double eta = frac > 0.0 ? elapsed * (1.0 - frac) / frac : -1.0;
+
+  char lanes_buf[160];
+  lanes_buf[0] = '\0';
+  if (pool_ != nullptr && self_enabled_ && self_stats_.pool_wall_seconds > 0.0) {
+    const std::vector<double> busy = pool_->lane_busy_seconds();
+    int n = std::snprintf(lanes_buf, sizeof(lanes_buf), " lanes=");
+    for (std::size_t i = 0; i < busy.size() && n > 0 &&
+                            n < static_cast<int>(sizeof(lanes_buf)) - 8;
+         ++i) {
+      n += std::snprintf(lanes_buf + n, sizeof(lanes_buf) - n, "%s%.0f%%",
+                         i == 0 ? "" : ",",
+                         100.0 * busy[i] / self_stats_.pool_wall_seconds);
+    }
+  }
+  log_status("hb core=%llu mem=%llu %.2f Mcyc/s warps=%zu/%zu eta=%.0fs "
+             "queued=%zu%s",
+             static_cast<unsigned long long>(core_cycle_),
+             static_cast<unsigned long long>(mem_now_), mcps, warps_done,
+             warps_total, eta, queued, lanes_buf);
+  last_heartbeat_ = now;
+  last_heartbeat_core_ = core_cycle_;
 }
 
 Cycle GpuTop::serial_next_event() const {
@@ -478,6 +592,7 @@ void GpuTop::init_sharding() {
 }
 
 void GpuTop::run_wheel(Cycle max_core_cycles) {
+  const bool heartbeat = cfg_.heartbeat_seconds > 0.0;
   while (core_cycle_ < max_core_cycles) {
     Cycle resume = std::min(serial_next_event(), max_core_cycles);
     // Never skip past the legacy loop's finished() poll boundary, so the
@@ -494,7 +609,10 @@ void GpuTop::run_wheel(Cycle max_core_cycles) {
       resume = std::min(resume, core_cycle_ + divider_.fast_cycles_until(mem_cross));
     if (resume <= core_cycle_ + 1) {
       step();
-      if ((core_cycle_ & 1023) == 0 && finished()) return;
+      if ((core_cycle_ & 1023) == 0) {
+        if (finished()) return;
+        if (heartbeat) maybe_heartbeat();
+      }
       continue;
     }
     // Fast-forward: no serial work and no cross-domain event until `resume`.
@@ -503,13 +621,30 @@ void GpuTop::run_wheel(Cycle max_core_cycles) {
     divider_.advance(resume - 1 - core_cycle_);
     const Cycle m_end = divider_.slow_cycles();
     if (m_end > mem_now_) {
-      if (lanes_ > 1 && m_end - mem_now_ >= kParallelSpanMin)
+      const bool parallel = lanes_ > 1 && m_end - mem_now_ >= kParallelSpanMin;
+      // Span-boundary clock reads are the whole cost of memory-side
+      // attribution — the per-tick loops stay untimed.
+      std::chrono::steady_clock::time_point t0;
+      if (self_enabled_) t0 = std::chrono::steady_clock::now();
+      if (parallel)
         run_mem_span_parallel(mem_now_, m_end);
       else
         run_mem_span(mem_now_, m_end);
+      if (self_enabled_) {
+        const double dt =
+            seconds_between(t0, std::chrono::steady_clock::now());
+        if (parallel) {
+          self_stats_.mem_parallel_wall_seconds += dt;
+          ++self_stats_.parallel_epochs;
+        } else {
+          self_stats_.mem_serial_seconds += dt;
+          ++self_stats_.serial_spans;
+        }
+      }
       mem_now_ = m_end;
     }
     core_cycle_ = resume - 1;
+    if (heartbeat) maybe_heartbeat();
   }
 }
 
@@ -592,10 +727,20 @@ void GpuTop::run_mem_span_parallel(Cycle m0, Cycle m1) {
   install_captures();
   const unsigned lanes = lanes_;
   const unsigned channels = num_channels();
+  // A strict violation inside a lane must not dump the flight rings while
+  // sibling lanes are still writing theirs; defer until after the barrier
+  // and the deterministic capture drain below.
+  telemetry::FlightRecorder::set_deferred(true);
+  std::chrono::steady_clock::time_point t0;
+  if (self_enabled_) t0 = std::chrono::steady_clock::now();
   pool_->run([&](unsigned lane) {
     for (ChannelId ch = lane; ch < channels; ch += lanes)
       advance_channel(ch, m0, m1, &captures_[ch]);
   });
+  if (self_enabled_)
+    self_stats_.pool_wall_seconds +=
+        seconds_between(t0, std::chrono::steady_clock::now());
+  telemetry::FlightRecorder::set_deferred(false);
   restore_captures();
 
   // Earliest strict-checker abort wins, matching the serial loop's
@@ -614,7 +759,20 @@ void GpuTop::run_mem_span_parallel(Cycle m0, Cycle m1) {
       cap.error = nullptr;
       cap.error_cycle = 0;
     }
-    std::rethrow_exception(err);
+    // The drain just replayed the merged (cycle, channel)-ordered prefix —
+    // violation event included — into the main tracer's flight rings, and
+    // every lane is quiesced, so this is the deterministic point to leave
+    // the forensics the in-lane (deferred) dump could not.
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      telemetry::FlightRecorder::dump_all("protocol_violation", e.what());
+      throw;
+    } catch (...) {
+      telemetry::FlightRecorder::dump_all("protocol_violation",
+                                          "non-standard exception");
+      throw;
+    }
   }
   drain_captures(captures_, tracer_, lifecycle_);
 }

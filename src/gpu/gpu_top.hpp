@@ -8,6 +8,7 @@
 // memory system drains.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -112,6 +113,38 @@ class GpuTop {
   /// ...). The hub must not outlive this GpuTop.
   void register_stats(telemetry::TelemetryHub& hub) const;
 
+  /// Wall-clock attribution of one run(), collected only while the
+  /// SelfProfiler is armed (all zero otherwise). The hot loops carry no RAII
+  /// zones; instead the wheel reads the clock at span boundaries and samples
+  /// one core step in 64, so arming stays within the <=5% overhead budget:
+  ///   serial_seconds            = run wall not spent in memory-only spans
+  ///                               (SMs + crossbars + partition front-ends,
+  ///                               i.e. the side ROADMAP item 2 wants to
+  ///                               shard next);
+  ///   mem_serial_seconds        = memory-only spans run on the caller;
+  ///   mem_parallel_wall_seconds = memory-only epochs run on the lane pool;
+  ///   barrier_stall_seconds     = lane-pool capacity not spent advancing
+  ///                               channels (lanes * pool wall - busy sum).
+  /// The sm/icnt/partition sample sums decompose the sampled steps' wall
+  /// time; scale by 64 (or normalize by step_samples) for shares.
+  struct WheelSelfStats {
+    double run_wall_seconds = 0.0;
+    double serial_seconds = 0.0;
+    double mem_serial_seconds = 0.0;
+    double mem_parallel_wall_seconds = 0.0;
+    double pool_wall_seconds = 0.0;
+    std::uint64_t serial_spans = 0;
+    std::uint64_t parallel_epochs = 0;
+    std::uint64_t step_samples = 0;
+    double sm_sample_seconds = 0.0;
+    double icnt_sample_seconds = 0.0;
+    double partition_sample_seconds = 0.0;
+    std::vector<double> lane_busy_seconds;  ///< One slot per worker lane.
+    double barrier_stall_seconds = 0.0;
+    unsigned lanes = 1;
+  };
+  WheelSelfStats self_stats() const;
+
  private:
   struct PendingReply {
     Cycle ready = 0;
@@ -172,6 +205,11 @@ class GpuTop {
   void install_captures();
   void restore_captures();
 
+  /// Emits one LAZYDRAM_HEARTBEAT status line when the period elapsed.
+  /// Called from coarse loop boundaries only (every 1024th step / each
+  /// fast-forward), never when cfg_.heartbeat_seconds == 0.
+  void maybe_heartbeat();
+
   GpuConfig cfg_;
   const workloads::Workload& workload_;
   AddressMapper mapper_;
@@ -197,6 +235,15 @@ class GpuTop {
   unsigned lanes_ = 1;                  ///< Worker lanes (capped at channels).
   std::unique_ptr<ShardPool> pool_;
   std::vector<ChannelCapture> captures_;  ///< One per channel.
+
+  // Self-observability state (inert unless the SelfProfiler is armed /
+  // cfg_.heartbeat_seconds > 0). Strictly passive: never read by simulation.
+  bool self_enabled_ = false;  ///< SelfProfiler::enabled(), cached at run().
+  WheelSelfStats self_stats_;
+  std::chrono::steady_clock::time_point run_start_wall_;
+  std::chrono::steady_clock::time_point next_heartbeat_;
+  std::chrono::steady_clock::time_point last_heartbeat_;
+  Cycle last_heartbeat_core_ = 0;
 
   /// Caps on per-core-cycle partition work (ports).
   static constexpr unsigned kInputsPerCycle = 2;

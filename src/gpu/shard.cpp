@@ -1,5 +1,9 @@
 #include "gpu/shard.hpp"
 
+#include <chrono>
+
+#include "telemetry/selfprof.hpp"
+
 namespace lazydram::gpu {
 
 namespace {
@@ -99,9 +103,25 @@ void drain_captures(std::vector<ChannelCapture>& captures,
 
 ShardPool::ShardPool(unsigned lanes) {
   const unsigned workers = lanes > 1 ? lanes - 1 : 0;
+  lane_busy_.assign(workers + 1, 0.0);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     threads_.emplace_back([this, i] { worker_main(i + 1); });
+  }
+}
+
+// Runs fn_(lane), accumulating its wall time into the lane's busy slot when
+// the self-profiler is armed. Each lane touches only its own slot, so no
+// synchronization beyond the pool's existing barrier is needed.
+void ShardPool::timed_call(unsigned lane) {
+  if (telemetry::SelfProfiler::enabled()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (*fn_)(lane);
+    lane_busy_[lane] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } else {
+    (*fn_)(lane);
   }
 }
 
@@ -128,7 +148,7 @@ void ShardPool::run(const std::function<void(unsigned)>& fn) {
     generation_.fetch_add(1, std::memory_order_release);
   }
   work_cv_.notify_all();
-  fn(0);
+  timed_call(0);
   unsigned spins = 0;
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (++spins >= kSpinIters) {
@@ -157,7 +177,7 @@ void ShardPool::worker_main(unsigned lane) {
     }
     if (gen == seen) return;  // Woken by stop_ with no new work.
     seen = gen;
-    (*fn_)(lane);
+    timed_call(lane);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lk(mu_);
       done_cv_.notify_one();

@@ -143,10 +143,18 @@ class ShardPool {
 
   void run(const std::function<void(unsigned)>& fn);
 
+  /// Cumulative wall time each lane spent inside its fn across every run(),
+  /// accumulated only while the SelfProfiler is armed (all zero otherwise).
+  /// Each lane writes its own slot; read only between runs. Comparing the
+  /// sum against lanes() * pool wall yields the epoch barrier-stall share.
+  std::vector<double> lane_busy_seconds() const { return lane_busy_; }
+
  private:
   void worker_main(unsigned lane);
+  void timed_call(unsigned lane);
 
   std::vector<std::thread> threads_;
+  std::vector<double> lane_busy_;
   const std::function<void(unsigned)>* fn_ = nullptr;
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -50,6 +50,9 @@ class Sm {
   void on_reply(const icnt::Packet& packet);
 
   bool all_done() const { return done_warps_ == warps_.size(); }
+  /// Resident warps that have retired, for run-progress reporting (the
+  /// heartbeat's warps-done / ETA line).
+  unsigned done_warps() const { return static_cast<unsigned>(done_warps_); }
 
   /// First future cycle at which tick() could change any state, assuming no
   /// reply arrives in between (replies are external events the caller

@@ -6,6 +6,7 @@
 #include "check/recorder.hpp"
 #include "common/assert.hpp"
 #include "telemetry/lifecycle.hpp"
+#include "telemetry/selfprof.hpp"
 
 namespace lazydram {
 
@@ -471,6 +472,7 @@ void MemoryController::inject_command_for_test(dram::CommandKind kind, BankId ba
 }
 
 void MemoryController::finalize() {
+  LD_SELF_ZONE("mc.finalize");
   dram_.flush_open_rows();
   // The run ends one past the last ticked cycle — the same boundary the
   // sampler's flush closes its final window at (last_tick_ + 1).

@@ -57,6 +57,19 @@ class ExperimentRunner {
     engine_.set_check(mode);
   }
 
+  /// Arms the wall-clock self-profiler for every run this runner launches
+  /// (--self-profile). The profiler is process-global and sticky once armed,
+  /// so this only ever turns it on.
+  void set_self_profile(bool on) {
+    if (on) cfg_.self_profile = true;
+  }
+
+  /// Live run-health heartbeat period for every run (--heartbeat SECONDS);
+  /// <= 0 leaves it off ($LAZYDRAM_HEARTBEAT can still enable it per-run).
+  void set_heartbeat(double seconds) {
+    if (seconds > 0.0) cfg_.heartbeat_seconds = seconds;
+  }
+
   /// Queue the run_* counterpart's job for the next flush() (no-ops when the
   /// result is already cached or already queued).
   void prefetch(const std::string& workload, const core::SchemeSpec& spec,

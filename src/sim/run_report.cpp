@@ -147,6 +147,64 @@ void write_lifecycle_section(telemetry::JsonWriter& w,
   w.end_object();
 }
 
+// The simulator's own wall-time attribution: where the host CPU time went
+// (core-side vs memory-side vs barrier stall), per-lane utilization, the
+// sampled step decomposition, and the merged SelfProfiler zone tree. Present
+// only when GpuConfig::self_profile armed the profiler for this run.
+void write_self_profile_section(telemetry::JsonWriter& w,
+                                const telemetry::SelfProfileReport& sp) {
+  w.key("self_profile");
+  w.begin_object();
+  w.field("run_wall_seconds", sp.run_wall_seconds);
+  w.field("serial_seconds", sp.serial_seconds);
+  w.field("mem_serial_seconds", sp.mem_serial_seconds);
+  w.field("mem_parallel_wall_seconds", sp.mem_parallel_wall_seconds);
+  w.field("pool_wall_seconds", sp.pool_wall_seconds);
+  w.field("barrier_stall_seconds", sp.barrier_stall_seconds);
+  w.field("serial_spans", sp.serial_spans);
+  w.field("parallel_epochs", sp.parallel_epochs);
+  w.field("lanes", static_cast<std::uint64_t>(sp.lanes));
+  const double wall = sp.run_wall_seconds;
+  w.field("core_side_share", wall > 0.0 ? sp.serial_seconds / wall : 0.0);
+  w.field("mem_side_share",
+          wall > 0.0 ? (sp.mem_serial_seconds + sp.mem_parallel_wall_seconds) / wall
+                     : 0.0);
+  const double lane_wall =
+      sp.pool_wall_seconds * static_cast<double>(sp.lanes > 0 ? sp.lanes : 1);
+  w.field("barrier_stall_share",
+          lane_wall > 0.0 ? sp.barrier_stall_seconds / lane_wall : 0.0);
+  w.key("step_shares");
+  w.begin_object();
+  w.field("samples", sp.step_samples);
+  w.field("sm_seconds", sp.sm_sample_seconds);
+  w.field("icnt_seconds", sp.icnt_sample_seconds);
+  w.field("partition_seconds", sp.partition_sample_seconds);
+  w.end_object();
+  w.key("lanes_busy");
+  w.begin_array();
+  for (const double busy : sp.lane_busy_seconds) {
+    w.begin_object();
+    w.field("busy_seconds", busy);
+    w.field("utilization",
+            sp.pool_wall_seconds > 0.0 ? busy / sp.pool_wall_seconds : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("zones");
+  w.begin_array();
+  for (const telemetry::SelfZoneNode& z : sp.zones) {
+    w.begin_object();
+    w.field("name", z.name);
+    w.field("depth", static_cast<std::uint64_t>(z.depth));
+    w.field("count", z.count);
+    w.field("inclusive_seconds", z.inclusive_seconds);
+    w.field("exclusive_seconds", z.exclusive_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 void write_windows_section(telemetry::JsonWriter& w,
@@ -198,6 +256,9 @@ void write_json_report(std::FILE* out, const RunMetrics& metrics,
   w.field("collect_seconds", telemetry.profile.collect_seconds);
   w.field("core_cycles_per_second", telemetry.profile.core_cycles_per_second);
   w.end_object();
+
+  if (telemetry.self_profile.enabled)
+    write_self_profile_section(w, telemetry.self_profile);
 
   write_windows_section(w, telemetry);
   if (telemetry.lifecycle_enabled) write_lifecycle_section(w, telemetry.lifecycle);

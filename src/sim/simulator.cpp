@@ -9,6 +9,7 @@
 #include "core/scheduler_registry.hpp"
 #include "gpu/gpu_top.hpp"
 #include "sim/run_report.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 namespace lazydram::sim {
 
@@ -65,6 +66,32 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
       else
         log_warn("LAZYDRAM_SHARD='%s' not recognized (want an integer 0..64); ignored",
                  sh.c_str());
+    }
+  }
+
+  // Self-observability knobs. The profiler arm switch is process-global and
+  // sticky: a run that wants it only ever turns it ON (a concurrent sweep
+  // sibling may still be profiling), so per-run A/B toggling is left to
+  // harnesses that own the whole process (bench_micro --perf).
+  if (!cfg.self_profile) {
+    if (const std::string sp = telemetry::env_string("LAZYDRAM_SELFPROF"); !sp.empty()) {
+      if (sp == "on" || sp == "1")
+        cfg.self_profile = true;
+      else if (sp != "off" && sp != "0")
+        log_warn("LAZYDRAM_SELFPROF='%s' not recognized (want on|off|1|0); ignored",
+                 sp.c_str());
+    }
+  }
+  if (cfg.self_profile) telemetry::SelfProfiler::set_enabled(true);
+  if (cfg.heartbeat_seconds <= 0.0) {
+    if (const std::string hb = telemetry::env_string("LAZYDRAM_HEARTBEAT"); !hb.empty()) {
+      char* end = nullptr;
+      const double v = std::strtod(hb.c_str(), &end);
+      if (end != nullptr && *end == '\0' && v > 0.0)
+        cfg.heartbeat_seconds = v;
+      else
+        log_warn("LAZYDRAM_HEARTBEAT='%s' not recognized (want seconds > 0); ignored",
+                 hb.c_str());
     }
   }
 
@@ -139,6 +166,24 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
   tele.set_window_sampling(config.window_sampling || !trace_path.empty() ||
                                 !json_path.empty());
 
+  // Crash flight recorder: on by default (recording is passive; a dump only
+  // fires on a strict-checker throw or LD_ASSERT). An explicit RunConfig
+  // depth wins, then $LAZYDRAM_FLIGHT; 0 disables.
+  std::int64_t flight_depth = config.flight_depth;
+  if (flight_depth < 0) {
+    flight_depth = static_cast<std::int64_t>(telemetry::FlightRecorder::kDefaultDepth);
+    if (const std::string fl = telemetry::env_string("LAZYDRAM_FLIGHT"); !fl.empty()) {
+      char* end = nullptr;
+      const long long v = std::strtoll(fl.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && v >= 0)
+        flight_depth = static_cast<std::int64_t>(v);
+      else
+        log_warn("LAZYDRAM_FLIGHT='%s' not recognized (want an event depth >= 0); ignored",
+                 fl.c_str());
+    }
+  }
+  if (flight_depth > 0) tele.enable_flight(static_cast<std::size_t>(flight_depth));
+
   std::string check_text = config.check;
   if (check_text.empty()) check_text = telemetry::env_string("LAZYDRAM_CHECK");
   check::CheckConfig check_cfg;
@@ -147,19 +192,28 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
   check::CheckContext check_ctx(check_cfg);
 
   RunOutput out;
+  telemetry::SelfZone setup_zone("sim.setup");
   const auto setup_start = std::chrono::steady_clock::now();
   gpu::GpuTop top(cfg, workload, factory, config.row_policy, &tele, &check_ctx);
   top.register_stats(tele.hub());
   out.telemetry.profile.setup_seconds = seconds_since(setup_start);
+  setup_zone.close();
 
   const auto run_start = std::chrono::steady_clock::now();
-  const bool finished = top.run(config.max_core_cycles);
+  bool finished = false;
+  {
+    telemetry::SelfZone run_zone("sim.run");
+    finished = top.run(config.max_core_cycles);
+  }
   out.telemetry.profile.run_seconds = seconds_since(run_start);
   LD_ASSERT_MSG(finished, "simulation hit max_core_cycles before completing");
 
   const auto collect_start = std::chrono::steady_clock::now();
-  out.metrics =
-      collect_metrics(top, workload, label, config.compute_error, &tele.hub());
+  {
+    telemetry::SelfZone collect_zone("sim.collect");
+    out.metrics =
+        collect_metrics(top, workload, label, config.compute_error, &tele.hub());
+  }
   out.telemetry.profile.collect_seconds = seconds_since(collect_start);
   out.telemetry.profile.core_cycles_per_second =
       out.telemetry.profile.run_seconds == 0.0
@@ -177,6 +231,33 @@ RunOutput simulate_full(const workloads::Workload& workload, const RunConfig& co
   if (telemetry::LifecycleCollector* lc = tele.lifecycle()) {
     out.telemetry.lifecycle_enabled = true;
     out.telemetry.lifecycle = lc->summary();
+  }
+
+  // Detach the self-attribution before `top` dies: the run loop's wall-time
+  // split (core-side vs memory-side vs barrier stall) plus the merged zone
+  // tree from every thread that touched the profiler.
+  if (cfg.self_profile) {
+    const gpu::GpuTop::WheelSelfStats ws = top.self_stats();
+    telemetry::SelfProfileReport& sp = out.telemetry.self_profile;
+    sp.enabled = true;
+    sp.run_wall_seconds = ws.run_wall_seconds;
+    sp.serial_seconds = ws.serial_seconds;
+    sp.mem_serial_seconds = ws.mem_serial_seconds;
+    sp.mem_parallel_wall_seconds = ws.mem_parallel_wall_seconds;
+    sp.pool_wall_seconds = ws.pool_wall_seconds;
+    sp.barrier_stall_seconds = ws.barrier_stall_seconds;
+    sp.serial_spans = ws.serial_spans;
+    sp.parallel_epochs = ws.parallel_epochs;
+    sp.step_samples = ws.step_samples;
+    sp.sm_sample_seconds = ws.sm_sample_seconds;
+    sp.icnt_sample_seconds = ws.icnt_sample_seconds;
+    sp.partition_sample_seconds = ws.partition_sample_seconds;
+    sp.lane_busy_seconds = ws.lane_busy_seconds;
+    sp.lanes = ws.lanes;
+    telemetry::SelfProfiler::Snapshot snap = telemetry::SelfProfiler::instance().snapshot();
+    if (telemetry::ChromeTraceSink* chrome = tele.chrome_sink())
+      chrome->write_self_profile(snap);
+    sp.zones = std::move(snap.zones);
   }
 
   // Log-mode violations don't abort the run; make sure they can't scroll

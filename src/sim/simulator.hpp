@@ -49,6 +49,13 @@ struct RunConfig {
   /// Fan-out drivers (run_multitenant baselines) set this so parallel lanes
   /// never race on one env-named output file.
   bool ignore_env_outputs = false;
+  /// Crash flight recorder depth: last N telemetry events kept per channel
+  /// for the dump a strict-checker throw or LD_ASSERT leaves behind
+  /// ($LAZYDRAM_FLIGHT_DUMP, default lazydram_flight.json). -1 defers to
+  /// $LAZYDRAM_FLIGHT (default: 64, i.e. always on); 0 disables. Recording
+  /// is passive — no output exists unless a dump fires, and enabling it
+  /// never changes results or trace bytes.
+  std::int64_t flight_depth = -1;
 
   // --- Verification ---
   /// Protocol-checker mode: "off" | "log" | "strict"; "" defers to

@@ -6,11 +6,13 @@
 #include <cstring>
 #include <exception>
 #include <map>
+#include <mutex>
 #include <thread>
 
 #include "common/log.hpp"
 #include "sim/run_report.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/selfprof.hpp"
 #include "workloads/registry.hpp"
 
 namespace lazydram::sim {
@@ -42,6 +44,7 @@ SweepResult run_one(const SweepJob& job) {
     return r;
   }
   try {
+    telemetry::SelfZone zone("sweep.job");
     const auto wl = workloads::make_workload(job.workload);
     r.output = simulate_full(*wl, job.config);
     r.ok = true;
@@ -100,6 +103,37 @@ std::vector<SweepResult> SweepEngine::run(std::vector<SweepJob> sweep_jobs) {
 
   std::vector<SweepResult> results(sweep_jobs.size());
   const auto sweep_start = std::chrono::steady_clock::now();
+  telemetry::SelfZone sweep_zone("sweep.run");
+
+  // Sweep-level heartbeat ($LAZYDRAM_HEARTBEAT, also set per-run on the jobs
+  // themselves by simulate_full): after each job completes, at most once per
+  // period, report done/total and an ETA extrapolated from the mean job time.
+  double heartbeat_seconds = 0.0;
+  if (const std::string hb = telemetry::env_string("LAZYDRAM_HEARTBEAT"); !hb.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(hb.c_str(), &end);
+    if (end != nullptr && *end == '\0' && v > 0.0) heartbeat_seconds = v;
+    // An unparsable value is warned about by simulate_full; stay quiet here.
+  }
+  std::mutex hb_mu;
+  auto hb_next = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(heartbeat_seconds);
+  std::atomic<std::size_t> done{0};
+  const auto maybe_beat = [&] {
+    if (heartbeat_seconds <= 0.0) return;
+    const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(hb_mu);
+    if (now < hb_next) return;
+    hb_next = now + std::chrono::duration<double>(heartbeat_seconds);
+    const double elapsed = seconds_since(sweep_start);
+    const double eta =
+        d > 0 ? elapsed * static_cast<double>(sweep_jobs.size() - d) /
+                    static_cast<double>(d)
+              : 0.0;
+    log_status("hb sweep %zu/%zu jobs done, %.1fs elapsed, eta=%.0fs", d,
+               sweep_jobs.size(), elapsed, eta);
+  };
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, sweep_jobs.size()));
@@ -108,6 +142,7 @@ std::vector<SweepResult> SweepEngine::run(std::vector<SweepJob> sweep_jobs) {
       log_info("sweep [%zu/%zu] %s", i + 1, sweep_jobs.size(),
                sweep_jobs[i].label.c_str());
       results[i] = run_one(sweep_jobs[i]);
+      maybe_beat();
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -118,6 +153,7 @@ std::vector<SweepResult> SweepEngine::run(std::vector<SweepJob> sweep_jobs) {
         log_info("sweep [%zu/%zu] %s", i + 1, sweep_jobs.size(),
                  sweep_jobs[i].label.c_str());
         results[i] = run_one(sweep_jobs[i]);
+        maybe_beat();
       }
     };
     std::vector<std::thread> pool;
@@ -178,6 +214,30 @@ std::string parse_check(int argc, char** argv) {
     return argv[i + 1];
   }
   return "";
+}
+
+bool parse_self_profile(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--self-profile") == 0) return true;
+  return false;
+}
+
+double parse_heartbeat(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--heartbeat") != 0) continue;
+    if (i + 1 >= argc) {
+      log_warn("--heartbeat given without a value (want seconds > 0); ignoring");
+      break;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(argv[i + 1], &end);
+    if (end == nullptr || *end != '\0' || v <= 0.0) {
+      log_warn("ignoring --heartbeat '%s' (want seconds > 0)", argv[i + 1]);
+      break;
+    }
+    return v;
+  }
+  return 0.0;
 }
 
 std::string sanitize_label(const std::string& label) {

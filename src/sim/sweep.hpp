@@ -101,6 +101,16 @@ unsigned parse_jobs(int argc, char** argv);
 /// validated later by check::parse_check_mode.
 std::string parse_check(int argc, char** argv);
 
+/// `--self-profile` from argv: arm the wall-clock self-profiler for every
+/// run the bench launches (false when absent; $LAZYDRAM_SELFPROF can still
+/// turn it on per-run).
+bool parse_self_profile(int argc, char** argv);
+
+/// `--heartbeat SECONDS` from argv, else 0 (off; $LAZYDRAM_HEARTBEAT can
+/// still turn it on per-run). A missing or non-positive value warns and is
+/// ignored.
+double parse_heartbeat(int argc, char** argv);
+
 /// `label` reduced to [A-Za-z0-9._-] (everything else becomes '_') so it is
 /// safe inside a file name.
 std::string sanitize_label(const std::string& label);

@@ -239,4 +239,31 @@ void ChromeTraceSink::on_lifecycle(const RequestLifecycle& r) {
   async_end(r.channel, r.id, clamp(cursor));  // Close the parent "req" span.
 }
 
+void ChromeTraceSink::write_self_profile(const SelfProfiler::Snapshot& snapshot) {
+  if (out_ == nullptr || snapshot.timelines.empty()) return;
+  raw("{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"selfprof\"}}",
+      kSelfProfPid);
+  for (const SelfThreadTimeline& tl : snapshot.timelines) {
+    raw("{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"sim thread %u (%llu zones dropped)\"}}",
+        kSelfProfPid, tl.index, tl.index,
+        static_cast<unsigned long long>(tl.dropped_zones));
+    for (const SelfEvent& e : tl.events) {
+      // Self-time runs on its own wall-clock axis (µs since the profiler
+      // epoch), intentionally not the sim-cycle axis of the channel tracks.
+      const double ts = static_cast<double>(e.ns) / 1000.0;
+      if (e.name != nullptr) {
+        raw("{\"ph\":\"B\",\"cat\":\"selfprof\",\"pid\":%u,\"tid\":%u,"
+            "\"ts\":%.3f,\"name\":\"%s\"}",
+            kSelfProfPid, tl.index, ts, e.name);
+      } else {
+        raw("{\"ph\":\"E\",\"cat\":\"selfprof\",\"pid\":%u,\"tid\":%u,"
+            "\"ts\":%.3f}",
+            kSelfProfPid, tl.index, ts);
+      }
+    }
+  }
+}
+
 }  // namespace lazydram::telemetry

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/selfprof.hpp"
 #include "telemetry/trace.hpp"
 
 namespace lazydram::telemetry {
@@ -49,6 +50,18 @@ class ChromeTraceSink : public TraceSink {
   void on_event(const TraceEvent& event) override;
   void on_window(const WindowSample& window) override;
   void on_lifecycle(const RequestLifecycle& request) override;
+
+  /// Exports the self-profiler's per-thread zone timelines as a separate
+  /// "selfprof" process (pid kSelfProfPid, one tid per simulator thread,
+  /// sync "B"/"E" spans, ts in wall-clock µs since the profiler epoch) next
+  /// to the sim-time tracks. Call once, after the run, before destruction.
+  /// Zones still open at snapshot time appear as unclosed "B"s — Perfetto
+  /// renders them to the trace end.
+  void write_self_profile(const SelfProfiler::Snapshot& snapshot);
+
+  /// The self-time process id: far above any channel id so the track group
+  /// can't collide with a channel process.
+  static constexpr unsigned kSelfProfPid = 9999;
 
  private:
   void raw(const char* fmt, ...);

@@ -1,0 +1,227 @@
+#include "telemetry/selfprof.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace lazydram::telemetry {
+
+std::atomic<bool> g_selfprof_enabled{false};
+
+namespace {
+
+// Zone tree node, per thread. Children form a singly-linked list; lookup is a
+// pointer-compare-then-strcmp walk (zone names are literals, so the pointer
+// compare almost always hits and the list stays short — fan-out is the number
+// of distinct child zones, typically < 8).
+struct Node {
+  const char* name = nullptr;
+  std::int32_t parent = -1;
+  std::int32_t first_child = -1;
+  std::int32_t next_sibling = -1;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+struct OpenFrame {
+  std::int32_t node = 0;
+  std::uint64_t t0 = 0;
+};
+
+// Timeline cap per thread (~1 MiB of SelfEvent). Beyond it, whole zone pairs
+// are dropped via the suppressed-depth counter so begin/end stays balanced.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 16;
+
+}  // namespace
+
+struct SelfProfiler::ThreadState {
+  std::vector<Node> nodes;
+  std::vector<OpenFrame> stack;
+  std::vector<SelfEvent> events;
+  std::uint64_t dropped_zones = 0;
+  unsigned suppressed_depth = 0;
+  unsigned index = 0;
+
+  ThreadState() {
+    Node root;
+    root.name = "";
+    nodes.push_back(root);
+  }
+};
+
+// Friend bridge: re-exports the private ThreadState so the file-local
+// Registry below can name it.
+struct SelfProfilerAccess {
+  using ThreadState = SelfProfiler::ThreadState;
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<SelfProfilerAccess::ThreadState>> threads;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+}  // namespace
+
+SelfProfiler::SelfProfiler() = default;
+
+SelfProfiler& SelfProfiler::instance() {
+  static SelfProfiler* p = new SelfProfiler();
+  return *p;
+}
+
+namespace {
+std::chrono::steady_clock::time_point profiler_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
+
+std::uint64_t SelfProfiler::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - profiler_epoch())
+          .count());
+}
+
+SelfProfiler::ThreadState& SelfProfiler::state() {
+  thread_local std::shared_ptr<ThreadState> tls;
+  if (tls == nullptr) {
+    tls = std::make_shared<ThreadState>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    tls->index = static_cast<unsigned>(reg.threads.size());
+    reg.threads.push_back(tls);
+  }
+  return *tls;
+}
+
+void SelfProfiler::enter(const char* name) {
+  ThreadState& st = state();
+  const std::uint64_t t = instance().now_ns();
+  const std::int32_t cur = st.stack.empty() ? 0 : st.stack.back().node;
+  std::int32_t child = st.nodes[cur].first_child;
+  while (child != -1) {
+    const Node& n = st.nodes[child];
+    if (n.name == name || std::strcmp(n.name, name) == 0) break;
+    child = n.next_sibling;
+  }
+  if (child == -1) {
+    child = static_cast<std::int32_t>(st.nodes.size());
+    Node n;
+    n.name = name;
+    n.parent = cur;
+    n.next_sibling = st.nodes[cur].first_child;
+    st.nodes.push_back(n);
+    st.nodes[cur].first_child = child;
+  }
+  ++st.nodes[child].count;
+  st.stack.push_back({child, t});
+  if (st.suppressed_depth == 0 && st.events.size() < kMaxEventsPerThread) {
+    st.events.push_back({t, name});
+  } else {
+    ++st.suppressed_depth;
+    ++st.dropped_zones;
+  }
+}
+
+void SelfProfiler::exit() {
+  ThreadState& st = state();
+  if (st.stack.empty()) return;  // tolerate unbalanced exit after reset()
+  const std::uint64_t t = instance().now_ns();
+  const OpenFrame frame = st.stack.back();
+  st.stack.pop_back();
+  st.nodes[frame.node].total_ns += t - frame.t0;
+  if (st.suppressed_depth > 0) {
+    --st.suppressed_depth;  // this exit pairs with an unrecorded enter
+  } else {
+    st.events.push_back({t, nullptr});
+  }
+}
+
+namespace {
+
+// Merge target: one node per (parent-path, name), keyed by name at each level.
+struct MergeNode {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::map<std::string, MergeNode> children;
+};
+
+void merge_tree(const std::vector<Node>& nodes, std::int32_t idx, MergeNode& out) {
+  for (std::int32_t c = nodes[idx].first_child; c != -1; c = nodes[c].next_sibling) {
+    MergeNode& m = out.children[nodes[c].name];
+    m.count += nodes[c].count;
+    m.total_ns += nodes[c].total_ns;
+    merge_tree(nodes, c, m);
+  }
+}
+
+void flatten(const MergeNode& node, const std::string& name, unsigned depth,
+             std::vector<SelfZoneNode>& out) {
+  std::uint64_t child_ns = 0;
+  for (const auto& [cname, child] : node.children) child_ns += child.total_ns;
+  SelfZoneNode z;
+  z.name = name;
+  z.depth = depth;
+  z.count = node.count;
+  z.inclusive_seconds = static_cast<double>(node.total_ns) * 1e-9;
+  z.exclusive_seconds =
+      static_cast<double>(node.total_ns > child_ns ? node.total_ns - child_ns : 0) *
+      1e-9;
+  out.push_back(std::move(z));
+  for (const auto& [cname, child] : node.children) {
+    flatten(child, cname, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+SelfProfiler::Snapshot SelfProfiler::snapshot() const {
+  Snapshot snap;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  MergeNode root;
+  for (const auto& st : reg.threads) {
+    merge_tree(st->nodes, 0, root);
+    SelfThreadTimeline tl;
+    tl.index = st->index;
+    tl.events = st->events;
+    tl.dropped_zones = st->dropped_zones;
+    if (!tl.events.empty() || tl.dropped_zones != 0) {
+      snap.timelines.push_back(std::move(tl));
+    }
+  }
+  for (const auto& [name, child] : root.children) {
+    flatten(child, name, 0, snap.zones);
+  }
+  return snap;
+}
+
+void SelfProfiler::reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& st : reg.threads) {
+    for (Node& n : st->nodes) {
+      n.count = 0;
+      n.total_ns = 0;
+    }
+    st->events.clear();
+    st->dropped_zones = 0;
+    st->suppressed_depth = 0;
+    // Open frames keep their node ids (the tree structure survives), so a
+    // zone spanning the reset still closes cleanly — its duration just
+    // includes pre-reset time.
+  }
+}
+
+}  // namespace lazydram::telemetry

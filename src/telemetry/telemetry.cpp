@@ -26,6 +26,16 @@ void Telemetry::enable_lifecycle(std::uint64_t sample_every) {
   lifecycle_ = std::make_unique<LifecycleCollector>(&tracer_, sample_every);
 }
 
+void Telemetry::enable_flight(std::size_t depth) {
+  if (depth == 0) return;
+  flight_ = std::make_unique<FlightRecorder>(depth);
+  tracer_.set_flight(flight_.get());
+}
+
+ChromeTraceSink* Telemetry::chrome_sink() {
+  return dynamic_cast<ChromeTraceSink*>(owned_sink_.get());
+}
+
 std::string env_string(const char* name) {
   const char* v = std::getenv(name);
   return v == nullptr ? std::string{} : std::string{v};

@@ -9,12 +9,16 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/flight.hpp"
 #include "telemetry/hub.hpp"
 #include "telemetry/lifecycle.hpp"
+#include "telemetry/selfprof.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/window_sampler.hpp"
 
 namespace lazydram::telemetry {
+
+class ChromeTraceSink;
 
 /// Wall-clock profile of one simulated run (host-side observability: how
 /// fast the simulator itself is going).
@@ -50,6 +54,19 @@ class Telemetry {
   /// The lifecycle collector, or nullptr when not enabled.
   LifecycleCollector* lifecycle() { return lifecycle_.get(); }
 
+  /// Creates the crash flight recorder (last `depth` events per channel) and
+  /// wires it into the tracer. Recording is passive — nothing is written
+  /// unless a strict-checker throw or LD_ASSERT triggers a dump.
+  void enable_flight(std::size_t depth = FlightRecorder::kDefaultDepth);
+
+  /// The flight recorder, or nullptr when not enabled.
+  FlightRecorder* flight() { return flight_.get(); }
+
+  /// The owned sink as a ChromeTraceSink, or nullptr when the trace format
+  /// is JSONL / no sink is attached — for post-run extras like the
+  /// self-profile process, which only the Chrome format carries.
+  ChromeTraceSink* chrome_sink();
+
   Tracer& tracer() { return tracer_; }
   TelemetryHub& hub() { return hub_; }
   const TelemetryHub& hub() const { return hub_; }
@@ -62,7 +79,31 @@ class Telemetry {
   TelemetryHub hub_;
   std::unique_ptr<TraceSink> owned_sink_;
   std::unique_ptr<LifecycleCollector> lifecycle_;
+  std::unique_ptr<FlightRecorder> flight_;
   bool window_sampling_ = false;
+};
+
+/// Wall-clock self-attribution of one run (telemetry/selfprof + GpuTop's
+/// WheelSelfStats, flattened to plain values so sim-layer consumers don't
+/// depend on gpu headers). Populated only when GpuConfig::self_profile is
+/// set; rendered as the run report's "self_profile" section.
+struct SelfProfileReport {
+  bool enabled = false;
+  std::vector<SelfZoneNode> zones;  ///< Merged zone tree, preorder.
+  double run_wall_seconds = 0.0;
+  double serial_seconds = 0.0;            ///< SM/core-side (non-mem-span) wall.
+  double mem_serial_seconds = 0.0;        ///< Memory spans on the caller.
+  double mem_parallel_wall_seconds = 0.0; ///< Memory epochs on the lane pool.
+  double pool_wall_seconds = 0.0;
+  double barrier_stall_seconds = 0.0;
+  std::uint64_t serial_spans = 0;
+  std::uint64_t parallel_epochs = 0;
+  std::uint64_t step_samples = 0;
+  double sm_sample_seconds = 0.0;
+  double icnt_sample_seconds = 0.0;
+  double partition_sample_seconds = 0.0;
+  std::vector<double> lane_busy_seconds;
+  unsigned lanes = 1;
 };
 
 /// Everything a run's telemetry produced, detached from the simulator
@@ -74,6 +115,7 @@ struct RunTelemetry {
   RunProfile profile;
   bool lifecycle_enabled = false;
   LifecycleSummary lifecycle;  ///< Valid iff lifecycle_enabled.
+  SelfProfileReport self_profile;
 };
 
 /// Value of env var `name`, or "" if unset.

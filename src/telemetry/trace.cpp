@@ -4,8 +4,16 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "telemetry/flight.hpp"
 
 namespace lazydram::telemetry {
+
+void Tracer::emit(const TraceEvent& event) {
+  // Flight first: if the sink throws mid-run (it must not, but the checker
+  // path behind it can), the ring still holds the event for the dump.
+  if (flight_ != nullptr) flight_->record(event);
+  if (sink_ != nullptr) sink_->on_event(event);
+}
 
 const char* event_kind_name(EventKind kind) {
   switch (kind) {

@@ -198,16 +198,28 @@ class JsonlTraceSink : public TraceSink {
   std::FILE* out_ = nullptr;
 };
 
-/// The emission facade held by instrumented components. With no sink
-/// attached every emit helper is a single branch; no event is constructed.
+class FlightRecorder;
+
+/// The emission facade held by instrumented components. With neither a sink
+/// nor a flight recorder attached every emit helper is a single branch; no
+/// event is constructed.
 class Tracer {
  public:
   void set_sink(TraceSink* sink) { sink_ = sink; }
+  /// enabled() deliberately ignores the flight recorder: it gates the
+  /// expensive trace machinery (capture-tracer installation in sharded runs,
+  /// sink construction), while flight-only recording stays on the cheap
+  /// direct path — lanes write disjoint per-channel rings race-free.
   bool enabled() const { return sink_ != nullptr; }
 
-  void emit(const TraceEvent& event) {
-    if (sink_ != nullptr) sink_->on_event(event);
-  }
+  /// Attaches the crash flight recorder. Events delivered through emit()
+  /// are mirrored into its per-channel rings; windows/lifecycles are not
+  /// (the rings hold discrete protocol events, the crash-relevant context).
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+  FlightRecorder* flight() const { return flight_; }
+
+  void emit(const TraceEvent& event);  // out-of-line: needs FlightRecorder
+
   void emit_window(const WindowSample& window) {
     if (sink_ != nullptr) sink_->on_window(window);
   }
@@ -218,48 +230,49 @@ class Tracer {
   // --- Typed emit helpers (document the a/b/f payload per kind) ---
 
   void row_activate(Cycle cycle, ChannelId ch, BankId bank, RowId row) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kRowActivate, cycle, ch, static_cast<std::int32_t>(bank), row, 0, 0.0});
   }
 
   void row_group_drop(Cycle cycle, ChannelId ch, BankId bank, RowId row, RequestId req) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kRowGroupDrop, cycle, ch, static_cast<std::int32_t>(bank), row, req, 0.0});
   }
 
   void vp_prediction(Cycle cycle, ChannelId ch, Addr line, bool donor_found, Addr donor) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kVpPrediction, cycle, ch, -1, line, donor, donor_found ? 1.0 : 0.0});
   }
 
   void dms_stall_begin(Cycle cycle, ChannelId ch, BankId bank, RequestId req, Cycle delay) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kDmsStallBegin, cycle, ch, static_cast<std::int32_t>(bank), req, delay, 0.0});
   }
 
   void dms_stall_end(Cycle cycle, ChannelId ch, BankId bank) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kDmsStallEnd, cycle, ch, static_cast<std::int32_t>(bank), 0, 0, 0.0});
   }
 
   void dms_delay_change(Cycle cycle, ChannelId ch, Cycle from, Cycle to, double window_bwutil) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kDmsDelayChange, cycle, ch, -1, to, from, window_bwutil});
   }
 
   void ams_threshold_change(Cycle cycle, ChannelId ch, unsigned from, unsigned to,
                             double window_coverage) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kAmsThresholdChange, cycle, ch, -1, to, from, window_coverage});
   }
 
   void check_violation(Cycle cycle, ChannelId ch, std::int32_t bank, unsigned code) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && flight_ == nullptr) return;
     emit({EventKind::kCheckViolation, cycle, ch, bank, code, 0, 0.0});
   }
 
  private:
   TraceSink* sink_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace lazydram::telemetry

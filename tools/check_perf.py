@@ -45,6 +45,10 @@ def main():
                          "checked when the baseline carries a sharded lane; "
                          "0 disables, for reports from trace-mode runs that "
                          "skip the sharded lane)")
+    ap.add_argument("--max-selfprof-overhead", type=float, default=0.0,
+                    help="fail if the current report's self_profile.overhead "
+                         "(profiler-on wall / profiler-off wall, a same-run "
+                         "same-machine ratio) exceeds this; 0 disables")
     args = ap.parse_args()
 
     cur_report = load(args.current)
@@ -93,6 +97,25 @@ def main():
                 verdict = f"  REGRESSION (< {args.min_shard_speedup:.1f}x)"
             print(f"{'sharded':<16} {base_shard.get('speedup', 0.0):>8.2f}x "
                   f"{speedup:>10.2f}x {'':>7}{verdict}")
+
+    # Self-profiler overhead gate: like the sharded speedup, this is a
+    # same-run same-machine ratio (on-wall / off-wall from ONE report), so it
+    # is robust to runner speed and gets a tight bound (CI uses 1.05 = 5%).
+    # Only checked against the current report — older baselines may predate
+    # the self_profile lane.
+    if args.max_selfprof_overhead > 0:
+        cur_sp = cur_report.get("self_profile")
+        if cur_sp is None:
+            print("check_perf: current report lacks the self_profile lane",
+                  file=sys.stderr)
+            failed.append("self_profile")
+        else:
+            overhead = cur_sp.get("overhead", 0.0)
+            verdict = ""
+            if overhead > args.max_selfprof_overhead:
+                failed.append("self_profile")
+                verdict = f"  REGRESSION (> {args.max_selfprof_overhead:.2f}x)"
+            print(f"{'selfprof':<16} {'-':>9} {overhead:>10.3f}x {'':>6}{verdict}")
 
     if failed:
         print(f"check_perf: FAILED for {', '.join(failed)}", file=sys.stderr)

@@ -135,6 +135,72 @@ def load_chrome_phases(path):
     return phases
 
 
+SELFPROF_PID = 9999  # ChromeTraceSink::kSelfProfPid — the self-time process.
+
+
+def load_chrome_selfprof(path):
+    """Self-time aggregation from a chrome trace's "selfprof" process
+    (written by --self-profile runs): per-zone count, inclusive and
+    exclusive wall microseconds, summed over threads. Validates that the
+    sync "B"/"E" events nest as a per-thread stack with monotonic
+    timestamps along the way; zones still open at the end of the trace are
+    legal (the snapshot ran before they closed) and contribute nothing.
+    Returns {} when the trace has no selfprof process."""
+    with open(path) as f:
+        try:
+            events = json.load(f)
+        except json.JSONDecodeError as e:
+            raise TraceError(str(e)) from e
+    if not isinstance(events, list):
+        raise TraceError("top-level JSON value is not an array")
+
+    zones = {}  # name -> {"count": n, "inclusive": us, "exclusive": us}
+    stacks = {}  # tid -> [[name, begin_ts, child_time], ...]
+    for i, ev in enumerate(events):
+        if ev.get("pid") != SELFPROF_PID or ev.get("ph") not in ("B", "E"):
+            continue
+        if ev.get("cat") != "selfprof":
+            raise TraceError(f"event {i}: pid {SELFPROF_PID} span without "
+                             f"cat 'selfprof'")
+        tid, ts = ev.get("tid"), ev["ts"]
+        stack = stacks.setdefault(tid, [])
+        if ev["ph"] == "B":
+            if stack and ts < stack[-1][1]:
+                raise TraceError(
+                    f"event {i}: selfprof zone '{ev.get('name')}' begins at "
+                    f"{ts} before its parent '{stack[-1][0]}' began at "
+                    f"{stack[-1][1]}")
+            stack.append([ev["name"], ts, 0.0])
+        else:
+            if not stack:
+                raise TraceError(
+                    f"event {i}: selfprof 'E' on tid {tid} with no open zone")
+            name, begin, child = stack.pop()
+            if ts < begin:
+                raise TraceError(
+                    f"event {i}: selfprof zone '{name}' ends at {ts} before "
+                    f"it began at {begin}")
+            dur = ts - begin
+            z = zones.setdefault(name,
+                                 {"count": 0, "inclusive": 0.0, "exclusive": 0.0})
+            z["count"] += 1
+            z["inclusive"] += dur
+            z["exclusive"] += dur - child
+            if stack:
+                stack[-1][2] += dur
+    return zones
+
+
+def print_selfprof_table(zones):
+    """Self-time attribution: where the simulator's own wall time went."""
+    print("\nself-time attribution (wall ms):")
+    print(f"{'zone':<24} {'count':>8} {'inclusive':>12} {'self':>12}")
+    for name in sorted(zones, key=lambda n: -zones[n]["inclusive"]):
+        z = zones[name]
+        print(f"{name:<24} {z['count']:>8} {z['inclusive'] / 1000.0:>12.3f} "
+              f"{z['exclusive'] / 1000.0:>12.3f}")
+
+
 # Energy components, in the display/validation order used everywhere below.
 COMPONENTS = ("row", "access", "background", "refresh")
 
@@ -290,16 +356,19 @@ def main():
             if looks_like_chrome(p):
                 phases = load_chrome_phases(p)
                 power = load_chrome_power(p)
+                selfprof = load_chrome_selfprof(p)
             else:
                 phases = load_jsonl_phases(p)
                 power = load_jsonl_power(p)
+                selfprof = {}
         except (OSError, TraceError, KeyError, TypeError, ValueError) as e:
             print(f"trace_summary: {path}: {e}", file=sys.stderr)
             failed = True
             continue
         if args.check:
-            # Power data is optional (sampling or the accountant may be
-            # off); when present its invariants were validated on load.
+            # Power and self-time data are optional (sampling, the
+            # accountant, or the self-profiler may be off); when present
+            # their invariants were validated on load.
             if not phases:
                 print(f"trace_summary: {path}: no request lifecycles found",
                       file=sys.stderr)
@@ -308,6 +377,8 @@ def main():
             print_table(p.stem, phases)
             if power:
                 print_power_table(power)
+            if selfprof:
+                print_selfprof_table(selfprof)
     return 1 if failed else 0
 
 
